@@ -1,0 +1,89 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation material (see DESIGN.md's per-experiment index) and prints them
+// as aligned text tables. Expect a few minutes of wall time for the full
+// set; use -only to run a single experiment.
+//
+// Usage:
+//
+//	benchtables [-only e0|knee|t1|t2|t3|t4|t5|e6|a1|a2|a3|a4|a5] [-seed 42]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbwlm/internal/experiments"
+	"dbwlm/internal/taxonomy"
+)
+
+func main() {
+	only := flag.String("only", "", "run a single experiment (e0, knee, t1, t2, t3, t4, t5, e6, a1, a2, a3, a4, a5)")
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	flag.Parse()
+
+	want := func(k string) bool { return *only == "" || *only == k }
+
+	if want("e0") {
+		fmt.Println("E0 / Figure 1: taxonomy coverage")
+		fmt.Print(taxonomy.RenderTree())
+		if gaps := taxonomy.CoverageGaps(); len(gaps) > 0 {
+			fmt.Fprintf(os.Stderr, "coverage gaps: %v\n", gaps)
+			os.Exit(1)
+		}
+		fmt.Println("all taxonomy leaves implemented: OK")
+		fmt.Println()
+	}
+	if want("t1") {
+		fmt.Println(taxonomy.Table1().Render())
+		fmt.Print(experiments.RunTable1(*seed).Render())
+		fmt.Println()
+	}
+	if want("knee") {
+		fmt.Print(experiments.RunMPLKnee([]int{1, 2, 4, 8, 16, 32, 64, 128}, *seed).Render())
+		fmt.Println()
+	}
+	if want("t2") {
+		fmt.Print(experiments.RunTable2(experiments.Table2Scenario{Seed: *seed}).Render())
+		fmt.Println()
+	}
+	if want("t3") {
+		fmt.Print(experiments.RunTable3(experiments.Table3Scenario{Seed: *seed}).Render())
+		fmt.Println()
+	}
+	if want("t4") {
+		fmt.Print(experiments.RunTable4(experiments.Table4Scenario{Seed: *seed}).Render())
+		fmt.Println()
+	}
+	if want("t5") {
+		for _, tb := range experiments.RunTable5(*seed) {
+			fmt.Print(tb.Render())
+			fmt.Println()
+		}
+	}
+	if want("e6") {
+		fmt.Print(experiments.RunAutonomic(*seed).Render())
+		fmt.Println()
+	}
+	if want("a1") {
+		fmt.Print(experiments.RunAblationThrottleMethods(*seed).Render())
+		fmt.Println()
+	}
+	if want("a2") {
+		fmt.Print(experiments.RunSuspendPlanComparison(0.5).Render())
+		fmt.Print(experiments.RunAblationRestructuring(*seed).Render())
+		fmt.Println()
+	}
+	if want("a3") {
+		fmt.Print(experiments.RunAblationEstimateError([]float64{1, 4, 16}, *seed).Render())
+		fmt.Println()
+	}
+	if want("a4") {
+		fmt.Print(experiments.RunAblationSchedulers(*seed).Render())
+		fmt.Println()
+	}
+	if want("a5") {
+		fmt.Print(experiments.RunAblationBatchOrdering(*seed).Render())
+		fmt.Println()
+	}
+}

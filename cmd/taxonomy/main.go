@@ -1,0 +1,58 @@
+// Command taxonomy prints Figure 1 of the paper — the taxonomy of workload
+// management techniques — with the number of techniques this repository
+// implements at each node, followed by Tables 1-5 mapping each paper row to
+// its implementation.
+//
+// Usage:
+//
+//	taxonomy [-tree] [-tables] [-registry]
+//
+// With no flags everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbwlm/internal/taxonomy"
+)
+
+func main() {
+	tree := flag.Bool("tree", false, "print only the Figure 1 tree")
+	tables := flag.Bool("tables", false, "print only Tables 1-5")
+	registry := flag.Bool("registry", false, "print only the technique registry")
+	flag.Parse()
+
+	all := !*tree && !*tables && !*registry
+	if *tree || all {
+		fmt.Println("Figure 1: Taxonomy of Workload Management Techniques for DBMSs")
+		fmt.Println()
+		fmt.Print(taxonomy.RenderTree())
+		fmt.Println()
+	}
+	if *registry || all {
+		fmt.Println("Implemented techniques by taxonomy class:")
+		byClass := taxonomy.ByClass()
+		taxonomy.Tree().Walk(func(n *taxonomy.Node, depth int) {
+			ts := byClass[n.Path]
+			if len(ts) == 0 {
+				return
+			}
+			fmt.Printf("\n%s:\n", n.Title)
+			for _, t := range ts {
+				fmt.Printf("  - %-45s %s\n      source: %s\n", t.Name, t.Impl, t.Source)
+			}
+		})
+		fmt.Println()
+	}
+	if *tables || all {
+		for _, tb := range taxonomy.AllTables() {
+			fmt.Println(tb.Render())
+		}
+	}
+	if gaps := taxonomy.CoverageGaps(); len(gaps) > 0 {
+		fmt.Fprintf(os.Stderr, "WARNING: taxonomy leaves without implementations: %v\n", gaps)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+// Command wlmsim runs the consolidated-server scenario of the paper's
+// introduction under a chosen workload management configuration and prints
+// the per-workload performance report.
+//
+// Usage:
+//
+//	wlmsim [-profile none|db2|sqlserver|teradata|oracle] [-config plan.json]
+//	       [-horizon 180] [-drain 90] [-seed 1]
+//	       [-oltp 40] [-bi 0.05] [-adhoc 0.12] [-monster 0.4]
+//	       [-cores 8] [-mem 4096] [-io 800]
+//	       [-trace out.jsonl] [-replay in.jsonl]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dbwlm"
+	"dbwlm/internal/engine"
+	"dbwlm/internal/governor"
+	"dbwlm/internal/sim"
+	"dbwlm/internal/workload"
+)
+
+func main() {
+	profileName := flag.String("profile", "none", "WLM profile: none, db2, sqlserver, teradata, oracle")
+	horizon := flag.Float64("horizon", 180, "arrival horizon in simulated seconds")
+	drain := flag.Float64("drain", 90, "drain period after the horizon in seconds")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	oltp := flag.Float64("oltp", 40, "OLTP arrivals per second")
+	bi := flag.Float64("bi", 0.05, "BI arrivals per second")
+	adhoc := flag.Float64("adhoc", 0.12, "ad-hoc arrivals per second")
+	monster := flag.Float64("monster", 0.4, "probability an ad-hoc arrival is a monster")
+	cores := flag.Float64("cores", 8, "server CPU cores")
+	memMB := flag.Float64("mem", 4096, "server memory (MB)")
+	ioMBps := flag.Float64("io", 800, "server IO bandwidth (MB/s)")
+	tracePath := flag.String("trace", "", "write the generated request trace to this JSONL file")
+	replayPath := flag.String("replay", "", "replay a previously recorded JSONL trace instead of generating")
+	configPath := flag.String("config", "", "apply a JSON WLM configuration (overrides -profile)")
+	flag.Parse()
+
+	s := sim.New(*seed)
+	m := dbwlm.New(s, engine.Config{Cores: *cores, MemoryMB: *memMB, IOMBps: *ioMBps})
+
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		err = dbwlm.LoadConfig(m, f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		*profileName = "config:" + *configPath
+	} else {
+		switch *profileName {
+		case "none":
+		case "db2":
+			governor.DB2Profile().Attach(m)
+		case "sqlserver":
+			governor.SQLServerProfile().Attach(m)
+		case "teradata":
+			governor.TeradataProfile().Attach(m)
+		case "oracle":
+			governor.OracleProfile().Attach(m)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown profile %q\n", *profileName)
+			os.Exit(2)
+		}
+	}
+
+	var gens []workload.Generator
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		entries, err := workload.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		gens = []workload.Generator{&workload.ReplayGen{WorkloadName: "replay", Entries: entries}}
+		fmt.Printf("replaying %d requests from %s\n", len(entries), *replayPath)
+	} else {
+		gens = workload.Consolidated(s.RNG().Fork(1), workload.ScenarioConfig{
+			OLTPRate: *oltp, BIRate: *bi, AdHocRate: *adhoc, MonsterProb: *monster,
+		})
+	}
+
+	var entries []workload.TraceEntry
+	if *tracePath != "" {
+		for _, g := range gens {
+			g.Start(s, sim.Time(sim.DurationFromSeconds(*horizon)), func(r *workload.Request) {
+				entries = append(entries, workload.EntryOf(r))
+				m.Submit(r)
+			})
+		}
+		s.Run(sim.Time(sim.DurationFromSeconds(*horizon + *drain)))
+	} else {
+		m.RunWorkload(gens,
+			sim.DurationFromSeconds(*horizon), sim.DurationFromSeconds(*drain))
+	}
+
+	fmt.Printf("profile=%s seed=%d horizon=%.0fs server=%.0f cores / %.0f MB / %.0f MB/s\n\n",
+		*profileName, *seed, *horizon, *cores, *memMB, *ioMBps)
+	fmt.Print(m.Report())
+	st := m.Engine().StatsNow()
+	fmt.Printf("\nengine: completed=%d killed=%d deadlocks=%d still-resident=%d\n",
+		st.Completed, st.Killed, st.Deadlocks, st.InEngine)
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := workload.WriteTrace(f, entries); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\ntrace: %d requests written to %s\n", len(entries), *tracePath)
+	}
+}

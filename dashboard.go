@@ -1,0 +1,115 @@
+package dbwlm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"dbwlm/internal/engine"
+)
+
+// DashboardRow is the per-workload live view of the Teradata manager's
+// dashboard workload monitor (Section 4.1.3.C): active sessions, recent
+// arrival rate, completions, response times, SLG violations, and delay-queue
+// depth.
+type DashboardRow struct {
+	Workload       string
+	ActiveSessions int
+	Suspended      int
+	ArrivalRate    float64 // completions-window proxy, requests/second
+	Completed      int64
+	MeanResponse   float64
+	SLGMet         bool
+	SLGRatio       float64
+	Killed         int64
+	Resubmits      int64
+}
+
+// Dashboard snapshots the live state of every known workload plus the
+// engine, rendering the monitor view operators watch.
+func (m *Manager) Dashboard() string {
+	active := make(map[string]int)
+	suspended := make(map[string]int)
+	for _, rr := range m.running {
+		switch rr.Query.State() {
+		case engine.StateSuspended, engine.StateSuspending:
+			suspended[rr.Req.Workload]++
+		default:
+			active[rr.Req.Workload]++
+		}
+	}
+	names := m.stats.Names()
+	sort.Strings(names)
+	var rows []DashboardRow
+	for _, name := range names {
+		ws := m.stats.Workload(name)
+		att := m.Attainment(name)
+		rows = append(rows, DashboardRow{
+			Workload:       name,
+			ActiveSessions: active[name],
+			Suspended:      suspended[name],
+			ArrivalRate:    ws.Throughput.Rate(m.sim.Now()),
+			Completed:      ws.Completed.Value(),
+			MeanResponse:   ws.Response.Mean(),
+			SLGMet:         att.Met,
+			SLGRatio:       att.Ratio,
+			Killed:         ws.Killed.Value(),
+			Resubmits:      ws.Resubmits.Value(),
+		})
+	}
+
+	var b strings.Builder
+	st := m.eng.StatsNow()
+	fmt.Fprintf(&b, "t=%.1fs  engine: %d running / %d blocked / %d suspended, cpu %.0f%%, io %.0f%%, mem %.0f%%, conflict %.2f\n",
+		m.sim.Now().Seconds(), st.Running, st.Blocked, st.Suspended,
+		100*st.CPUUtilization, 100*st.IOUtilization, 100*st.MemPressure, st.ConflictRatio)
+	if m.Scheduler != nil {
+		fmt.Fprintf(&b, "delay queue: %d waiting, %d dispatched; admission queue: %d\n",
+			m.Scheduler.Waiting(), m.Scheduler.Dispatched(), len(m.admissionQueue))
+	} else {
+		fmt.Fprintf(&b, "admission queue: %d\n", len(m.admissionQueue))
+	}
+	fmt.Fprintf(&b, "%-14s %7s %6s %8s %9s %10s %6s %7s %7s\n",
+		"workload", "active", "susp", "arr/s", "done", "meanRT", "SLG", "killed", "resub")
+	for _, r := range rows {
+		slg := "met"
+		if !r.SLGMet {
+			slg = "MISS"
+		}
+		fmt.Fprintf(&b, "%-14s %7d %6d %8.2f %9d %10.4f %6s %7d %7d\n",
+			r.Workload, r.ActiveSessions, r.Suspended, r.ArrivalRate,
+			r.Completed, r.MeanResponse, slg, r.Killed, r.Resubmits)
+	}
+	return b.String()
+}
+
+// DashboardRows returns the structured per-workload monitor rows.
+func (m *Manager) DashboardRows() []DashboardRow {
+	out := make([]DashboardRow, 0, len(m.slos))
+	for _, name := range m.stats.Names() {
+		ws := m.stats.Workload(name)
+		att := m.Attainment(name)
+		row := DashboardRow{
+			Workload:     name,
+			ArrivalRate:  ws.Throughput.Rate(m.sim.Now()),
+			Completed:    ws.Completed.Value(),
+			MeanResponse: ws.Response.Mean(),
+			SLGMet:       att.Met,
+			SLGRatio:     att.Ratio,
+			Killed:       ws.Killed.Value(),
+			Resubmits:    ws.Resubmits.Value(),
+		}
+		for _, rr := range m.running {
+			if rr.Req.Workload != name {
+				continue
+			}
+			if s := rr.Query.State(); s == engine.StateSuspended || s == engine.StateSuspending {
+				row.Suspended++
+			} else {
+				row.ActiveSessions++
+			}
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,31 @@
+// Package dbwlm is a workload management framework for database management
+// systems, reproducing the taxonomy of Zhang, Martin, Powley and Chen,
+// "Workload Management in Database Management Systems: A Taxonomy" (TKDE;
+// ICDE 2018 extended abstract).
+//
+// The framework implements every class of the paper's taxonomy against a
+// simulated DBMS engine:
+//
+//   - Workload characterization (internal/characterize): static workload
+//     definitions mapping requests to service classes by origin, type, cost,
+//     or criteria functions, with resource pools and tiers; and dynamic
+//     ML-based workload-type classification.
+//   - Admission control (internal/admission): query-cost and MPL thresholds,
+//     the conflict-ratio and throughput-feedback controllers, indicator-based
+//     gating, and learned runtime predictors (decision tree, k-NN).
+//   - Scheduling (internal/scheduling): FCFS / priority / SJF / rank wait
+//     queues, MPL and cost-limit dispatchers, the utility-function cost-limit
+//     planner with an analytic queueing model, feedback MPL control, and
+//     query restructuring (plan slicing).
+//   - Execution control (internal/execctl): priority aging, economic resource
+//     reallocation, kill and kill-and-resubmit, PI / step / black-box
+//     throttling (constant and interrupt methods), and suspend-and-resume
+//     with optimal suspend-plan selection.
+//   - Autonomic management (internal/autonomic): a MAPE feedback loop with
+//     utility-guided planning and a fuzzy-logic execution controller.
+//
+// The Manager type in this package wires those pieces around the simulated
+// engine (internal/engine) and the synthetic workload generators
+// (internal/workload). See examples/ for runnable scenarios and bench_test.go
+// for the harnesses that regenerate every table and figure of the paper.
+package dbwlm

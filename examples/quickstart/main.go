@@ -1,0 +1,68 @@
+// Quickstart: build a workload manager over the simulated DBMS, classify two
+// workloads into service classes, gate admissions, and print the report.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"dbwlm"
+	"dbwlm/internal/admission"
+	"dbwlm/internal/characterize"
+	"dbwlm/internal/engine"
+	"dbwlm/internal/policy"
+	"dbwlm/internal/scheduling"
+	"dbwlm/internal/sim"
+	"dbwlm/internal/workload"
+)
+
+func main() {
+	// A deterministic simulator and an 8-core / 4 GB / 800 MB/s server.
+	s := sim.New(1)
+	m := dbwlm.New(s, engine.Config{Cores: 8, MemoryMB: 4096, IOMBps: 800})
+
+	// Identification (Section 2.2): point-of-sale traffic goes to a
+	// high-priority service class; everything else lands in the default.
+	m.Router = characterize.NewRouter(nil).
+		AddClass(&characterize.ServiceClass{Name: "transactions", Priority: policy.PriorityHigh}).
+		AddDef(&characterize.WorkloadDef{
+			Name:         "oltp",
+			Match:        characterize.OriginMatcher{App: "pos-terminal"},
+			ServiceClass: "transactions",
+		})
+
+	// Admission control (Section 3.2): low-priority queries with estimated
+	// cost over 8,000 timerons are rejected.
+	m.Admission = &admission.CostThreshold{Limits: map[policy.Priority]float64{
+		policy.PriorityLow: 8000,
+	}}
+
+	// Scheduling (Section 3.3): a priority wait queue releasing at most 16
+	// concurrent requests.
+	m.Scheduler = scheduling.NewScheduler(scheduling.NewPriority(), &scheduling.MPL{Max: 16})
+
+	// Workload: an OLTP stream with a 300ms SLA plus occasional ad-hoc
+	// monsters.
+	gens := []workload.Generator{
+		&workload.OLTPGen{
+			WorkloadName: "oltp", Rate: 50,
+			Priority: policy.PriorityHigh,
+			SLO:      policy.AvgResponseTime(300 * sim.Millisecond),
+			Seq:      &workload.Sequence{},
+		},
+		&workload.AdHocGen{
+			WorkloadName: "adhoc", Rate: 0.2,
+			Priority: policy.PriorityLow,
+			SLO:      policy.BestEffort(),
+			Seq:      &workload.Sequence{},
+		},
+	}
+
+	// Run 60 simulated seconds of arrivals plus a 30s drain.
+	m.RunWorkload(gens, 60*sim.Second, 30*sim.Second)
+
+	fmt.Print(m.Report())
+	a := m.Attainment("oltp")
+	fmt.Printf("\nOLTP SLA met: %v (attainment ratio %.2f)\n", a.Met, a.Ratio)
+}

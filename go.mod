@@ -1,0 +1,3 @@
+module dbwlm
+
+go 1.22

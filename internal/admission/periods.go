@@ -1,0 +1,83 @@
+package admission
+
+import (
+	"dbwlm/internal/sim"
+	"dbwlm/internal/workload"
+)
+
+// Period is one operating window of the day with its own admission policy —
+// "the admission control policy may also specify different thresholds for
+// various operating periods, for example during the day or at night"
+// (Section 3.2).
+type Period struct {
+	// FromHour and ToHour bound the window in [0, 24); a window may wrap
+	// midnight (FromHour > ToHour).
+	FromHour float64
+	ToHour   float64
+	// Controller applies inside the window.
+	Controller Controller
+}
+
+// contains reports whether hour falls inside the window.
+func (p Period) contains(hour float64) bool {
+	if p.FromHour <= p.ToHour {
+		return hour >= p.FromHour && hour < p.ToHour
+	}
+	return hour >= p.FromHour || hour < p.ToHour
+}
+
+// OperatingPeriods selects among admission controllers by virtual
+// time-of-day: strict daytime thresholds, lenient overnight batch windows.
+type OperatingPeriods struct {
+	Periods []Period
+	// Default applies outside every period (nil = AdmitAll).
+	Default Controller
+	// DayLength is the virtual day (default 24 virtual hours). Experiments
+	// often compress it so that day/night cycles fit a short horizon.
+	DayLength sim.Duration
+}
+
+// Name implements Controller.
+func (c *OperatingPeriods) Name() string { return "operating-periods" }
+
+// HourOf reports the time-of-day in [0, 24) for now.
+func (c *OperatingPeriods) HourOf(now sim.Time) float64 {
+	day := c.DayLength
+	if day <= 0 {
+		day = 24 * sim.Hour
+	}
+	into := sim.Duration(int64(now) % int64(day))
+	return 24 * into.Seconds() / day.Seconds()
+}
+
+// active returns the controller in force at now.
+func (c *OperatingPeriods) active(now sim.Time) Controller {
+	hour := c.HourOf(now)
+	for _, p := range c.Periods {
+		if p.contains(hour) {
+			return p.Controller
+		}
+	}
+	if c.Default != nil {
+		return c.Default
+	}
+	return AdmitAll{}
+}
+
+// Decide implements Controller.
+func (c *OperatingPeriods) Decide(r *workload.Request, now sim.Time) Decision {
+	return c.active(now).Decide(r, now)
+}
+
+// ObserveCompletion implements CompletionObserver, forwarding to every
+// period controller that learns from completions.
+func (c *OperatingPeriods) ObserveCompletion(r *workload.Request, responseSeconds float64, now sim.Time) {
+	for _, p := range c.Periods {
+		if o, ok := p.Controller.(CompletionObserver); ok {
+			o.ObserveCompletion(r, responseSeconds, now)
+		}
+	}
+	if o, ok := c.Default.(CompletionObserver); ok {
+		o.ObserveCompletion(r, responseSeconds, now)
+	}
+}

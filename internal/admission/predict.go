@@ -1,0 +1,231 @@
+package admission
+
+import (
+	"math"
+
+	"dbwlm/internal/learn"
+	"dbwlm/internal/sim"
+	"dbwlm/internal/sqlmini"
+	"dbwlm/internal/workload"
+)
+
+// RuntimeBucket is a predicted execution-time range — the output of the
+// PQR-style decision tree of Gupta et al. [23], which predicts ranges rather
+// than point values.
+type RuntimeBucket int
+
+// Runtime buckets: boundaries at 1s, 10s, 100s.
+const (
+	BucketShort   RuntimeBucket = iota // < 1s
+	BucketMedium                       // 1s - 10s
+	BucketLong                         // 10s - 100s
+	BucketMonster                      // >= 100s
+)
+
+// String names the bucket.
+func (b RuntimeBucket) String() string {
+	names := []string{"short", "medium", "long", "monster"}
+	if int(b) < len(names) {
+		return names[b]
+	}
+	return "unknown"
+}
+
+// numBuckets is the label-space size.
+const numBuckets = 4
+
+// BucketOf classifies an observed runtime.
+func BucketOf(seconds float64) RuntimeBucket {
+	switch {
+	case seconds < 1:
+		return BucketShort
+	case seconds < 10:
+		return BucketMedium
+	case seconds < 100:
+		return BucketLong
+	default:
+		return BucketMonster
+	}
+}
+
+// RequestFeatures extracts the pre-execution features prediction models use
+// (Ganapathi et al. [21]: properties available before a query runs — the
+// statement, its plan, its estimates).
+func RequestFeatures(r *workload.Request) []float64 {
+	isRead := 0.0
+	if r.Type == sqlmini.StmtRead {
+		isRead = 1
+	}
+	return []float64{
+		math.Log1p(r.Est.Timerons),
+		math.Log1p(r.Est.Rows),
+		math.Log1p(r.Est.MemMB),
+		math.Log1p(r.Est.IOMB),
+		isRead,
+	}
+}
+
+// ObservedRun is one training example for the predictors.
+type ObservedRun struct {
+	Features []float64
+	Seconds  float64
+}
+
+// TreePredictor predicts runtime ranges with a decision tree (Gupta PQR).
+// It accumulates observations online and retrains every RetrainEvery
+// completions.
+type TreePredictor struct {
+	// MaxBucket is the largest admissible predicted bucket; work predicted
+	// beyond it is queued (or rejected with Reject=true).
+	MaxBucket RuntimeBucket
+	// Reject rejects over-limit work instead of queueing.
+	Reject bool
+	// RetrainEvery controls retraining cadence (default 50).
+	RetrainEvery int
+	// MinTraining is the number of observations required before the
+	// predictor starts gating (default 30); before that it admits all.
+	MinTraining int
+
+	history  []learn.Sample
+	tree     *learn.DecisionTree
+	sinceFit int
+}
+
+// Name implements Controller.
+func (p *TreePredictor) Name() string { return "predict-tree" }
+
+// Decide implements Controller.
+func (p *TreePredictor) Decide(r *workload.Request, _ sim.Time) Decision {
+	if p.tree == nil {
+		return Admit
+	}
+	b := RuntimeBucket(p.tree.Predict(RequestFeatures(r)))
+	if b <= p.MaxBucket {
+		return Admit
+	}
+	if p.Reject {
+		return Reject
+	}
+	return Queue
+}
+
+// ObserveCompletion implements CompletionObserver: record the actual runtime
+// and periodically retrain.
+func (p *TreePredictor) ObserveCompletion(r *workload.Request, responseSeconds float64, _ sim.Time) {
+	p.history = append(p.history, learn.Sample{
+		Features: RequestFeatures(r),
+		Label:    int(BucketOf(responseSeconds)),
+	})
+	p.sinceFit++
+	min := p.MinTraining
+	if min <= 0 {
+		min = 30
+	}
+	every := p.RetrainEvery
+	if every <= 0 {
+		every = 50
+	}
+	if len(p.history) >= min && (p.tree == nil || p.sinceFit >= every) {
+		p.tree = learn.TrainDecisionTree(p.history, numBuckets, learn.TreeConfig{MaxDepth: 8, MinLeafSize: 3})
+		p.sinceFit = 0
+	}
+}
+
+// Trained reports whether the predictor has fit a model yet.
+func (p *TreePredictor) Trained() bool { return p.tree != nil }
+
+// KNNPredictor predicts runtime seconds from the k nearest historical
+// queries in feature space (Ganapathi-style similarity) and gates work whose
+// predicted runtime exceeds MaxSeconds. History is retained stratified by
+// runtime bucket so that a flood of fast transactions cannot evict the few
+// observations of slow queries — the class imbalance that otherwise
+// un-trains the model exactly when it is gating well.
+type KNNPredictor struct {
+	MaxSeconds float64
+	K          int // default 5
+	Reject     bool
+	// MinTraining before gating begins (default 30).
+	MinTraining int
+	// MaxHistory bounds memory (default 2000, split evenly across runtime
+	// buckets with FIFO eviction within a bucket).
+	MaxHistory int
+
+	history  map[RuntimeBucket][]learn.RegSample
+	model    *learn.KNN
+	sinceFit int
+}
+
+// Name implements Controller.
+func (p *KNNPredictor) Name() string { return "predict-knn" }
+
+// Decide implements Controller.
+func (p *KNNPredictor) Decide(r *workload.Request, _ sim.Time) Decision {
+	if p.model == nil {
+		return Admit
+	}
+	pred := p.model.PredictValue(RequestFeatures(r))
+	if pred <= p.MaxSeconds {
+		return Admit
+	}
+	if p.Reject {
+		return Reject
+	}
+	return Queue
+}
+
+// Predict exposes the model's runtime prediction (0 before training).
+func (p *KNNPredictor) Predict(r *workload.Request) float64 {
+	if p.model == nil {
+		return 0
+	}
+	return p.model.PredictValue(RequestFeatures(r))
+}
+
+// ObserveCompletion implements CompletionObserver.
+func (p *KNNPredictor) ObserveCompletion(r *workload.Request, responseSeconds float64, _ sim.Time) {
+	maxH := p.MaxHistory
+	if maxH <= 0 {
+		maxH = 2000
+	}
+	perBucket := maxH / numBuckets
+	if perBucket < 1 {
+		perBucket = 1
+	}
+	if p.history == nil {
+		p.history = make(map[RuntimeBucket][]learn.RegSample)
+	}
+	b := BucketOf(responseSeconds)
+	hs := p.history[b]
+	if len(hs) >= perBucket {
+		hs = hs[1:]
+	}
+	p.history[b] = append(hs, learn.RegSample{
+		Features: RequestFeatures(r),
+		Value:    responseSeconds,
+	})
+	p.sinceFit++
+	min := p.MinTraining
+	if min <= 0 {
+		min = 30
+	}
+	k := p.K
+	if k <= 0 {
+		k = 5
+	}
+	if p.historySize() >= min && (p.model == nil || p.sinceFit >= 25) {
+		var all []learn.RegSample
+		for _, hs := range p.history {
+			all = append(all, hs...)
+		}
+		p.model = learn.TrainKNN(all, k)
+		p.sinceFit = 0
+	}
+}
+
+func (p *KNNPredictor) historySize() int {
+	n := 0
+	for _, hs := range p.history {
+		n += len(hs)
+	}
+	return n
+}

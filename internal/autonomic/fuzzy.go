@@ -1,0 +1,215 @@
+// Package autonomic implements the paper's Section 5.3 vision: an autonomic
+// workload management system built as a MAPE feedback loop (monitor —
+// analyze — plan — execute) with utility functions guiding the planner, plus
+// the rule-based fuzzy-logic execution controller of Krompass et al. [39]
+// that chooses among reprioritize / kill / kill-and-resubmit for problematic
+// queries from runtime observations.
+package autonomic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FuzzyVar is a linguistic input in [0, 1] with Low/Medium/High triangular
+// membership functions.
+type FuzzyVar int
+
+// Fuzzy input variables of the Krompass controller: query priority, query
+// progress, system resource contention, and how often the query has already
+// been cancelled (kill-and-resubmit loops should not spin forever).
+const (
+	VarPriority FuzzyVar = iota
+	VarProgress
+	VarContention
+	VarCancellations
+	numVars
+)
+
+// String names the variable.
+func (v FuzzyVar) String() string {
+	names := []string{"priority", "progress", "contention", "cancellations"}
+	if int(v) < len(names) {
+		return names[v]
+	}
+	return fmt.Sprintf("FuzzyVar(%d)", int(v))
+}
+
+// Level is a linguistic value.
+type Level int
+
+// Linguistic levels.
+const (
+	Low Level = iota
+	Medium
+	High
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case Low:
+		return "low"
+	case Medium:
+		return "medium"
+	default:
+		return "high"
+	}
+}
+
+// Membership evaluates the triangular membership of x (clamped to [0,1]) in
+// the level: Low peaks at 0, Medium at 0.5, High at 1.
+func Membership(l Level, x float64) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	switch l {
+	case Low:
+		if x >= 0.5 {
+			return 0
+		}
+		return 1 - x/0.5
+	case Medium:
+		if x <= 0 || x >= 1 {
+			return 0
+		}
+		if x <= 0.5 {
+			return x / 0.5
+		}
+		return (1 - x) / 0.5
+	default: // High
+		if x <= 0.5 {
+			return 0
+		}
+		return (x - 0.5) / 0.5
+	}
+}
+
+// Action is the fuzzy controller's output.
+type Action int
+
+// Control actions (Krompass et al.: continue, reprioritize, kill,
+// kill-and-resubmit).
+const (
+	ActContinue Action = iota
+	ActReprioritize
+	ActKill
+	ActKillResubmit
+	numActions
+)
+
+// String names the action.
+func (a Action) String() string {
+	names := []string{"continue", "reprioritize", "kill", "kill-and-resubmit"}
+	if int(a) < len(names) {
+		return names[a]
+	}
+	return fmt.Sprintf("Action(%d)", int(a))
+}
+
+// Term is one antecedent clause: variable IS level.
+type Term struct {
+	Var   FuzzyVar
+	Level Level
+}
+
+// Rule is IF all terms THEN action (min t-norm for AND).
+type Rule struct {
+	If   []Term
+	Then Action
+}
+
+// FuzzyController is a Mamdani-style inference engine over the rule base:
+// rule strengths combine by max per action, and the strongest action wins.
+type FuzzyController struct {
+	Rules []Rule
+}
+
+// Inputs are the crisp observations, each normalized to [0, 1].
+type Inputs struct {
+	Priority      float64 // 0 = lowest business priority
+	Progress      float64 // fraction of work completed
+	Contention    float64 // resource contention (memory pressure, conflicts)
+	Cancellations float64 // prior kills of this query, normalized
+}
+
+func (in Inputs) value(v FuzzyVar) float64 {
+	switch v {
+	case VarPriority:
+		return in.Priority
+	case VarProgress:
+		return in.Progress
+	case VarContention:
+		return in.Contention
+	default:
+		return in.Cancellations
+	}
+}
+
+// Strengths evaluates the rule base and returns each action's aggregate
+// firing strength in [0, 1].
+func (c *FuzzyController) Strengths(in Inputs) map[Action]float64 {
+	out := make(map[Action]float64, int(numActions))
+	for _, r := range c.Rules {
+		strength := 1.0
+		for _, t := range r.If {
+			m := Membership(t.Level, in.value(t.Var))
+			if m < strength {
+				strength = m
+			}
+		}
+		if strength > out[r.Then] {
+			out[r.Then] = strength
+		}
+	}
+	return out
+}
+
+// Decide returns the strongest action (ActContinue when nothing fires),
+// breaking ties toward the milder action.
+func (c *FuzzyController) Decide(in Inputs) (Action, float64) {
+	st := c.Strengths(in)
+	actions := make([]Action, 0, len(st))
+	for a := range st {
+		actions = append(actions, a)
+	}
+	sort.Slice(actions, func(i, j int) bool { return actions[i] < actions[j] })
+	best := ActContinue
+	bestS := 0.0
+	for _, a := range actions {
+		if st[a] > bestS {
+			best, bestS = a, st[a]
+		}
+	}
+	return best, bestS
+}
+
+// KrompassRules is the default rule base, transcribing the behaviour the
+// paper describes for BI workload execution control: problematic (low
+// priority, little progress, heavy contention) queries are killed; queries
+// near completion are left to finish; medium cases are reprioritized;
+// repeatedly killed queries are resubmitted rather than killed outright.
+func KrompassRules() []Rule {
+	return []Rule{
+		// Contention low: let everything run.
+		{If: []Term{{VarContention, Low}}, Then: ActContinue},
+		// Nearly done: finishing is cheaper than any control action.
+		{If: []Term{{VarProgress, High}}, Then: ActContinue},
+		// High-priority queries are never sacrificed.
+		{If: []Term{{VarPriority, High}}, Then: ActContinue},
+		// Problematic: low priority, early, heavy contention -> kill, but
+		// resubmit if it has not been cancelled before (work preservation).
+		{If: []Term{{VarPriority, Low}, {VarProgress, Low}, {VarContention, High}, {VarCancellations, Low}},
+			Then: ActKillResubmit},
+		{If: []Term{{VarPriority, Low}, {VarProgress, Low}, {VarContention, High}, {VarCancellations, High}},
+			Then: ActKill},
+		// Mid-flight or medium priority under contention: degrade rather
+		// than destroy.
+		{If: []Term{{VarPriority, Low}, {VarProgress, Medium}, {VarContention, High}}, Then: ActReprioritize},
+		{If: []Term{{VarPriority, Medium}, {VarContention, High}}, Then: ActReprioritize},
+		{If: []Term{{VarPriority, Low}, {VarContention, Medium}}, Then: ActReprioritize},
+	}
+}

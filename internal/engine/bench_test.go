@@ -1,0 +1,60 @@
+package engine
+
+import (
+	"testing"
+
+	"dbwlm/internal/sim"
+)
+
+// benchmarkMix runs a closed-loop mixed workload for the given virtual
+// horizon and reports simulated-queries-per-wall-second.
+func benchmarkMix(b *testing.B, residents int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(uint64(i) + 1)
+		e := New(s, Config{Cores: 8, MemoryMB: 8192, IOMBps: 800})
+		rng := s.RNG().Fork(2)
+		completed := 0
+		var launch func()
+		launch = func() {
+			if s.Now().Seconds() >= 30 {
+				return
+			}
+			e.Submit(QuerySpec{
+				CPUWork:     0.05 + rng.Float64()*0.1,
+				IOWork:      1 + rng.Float64()*4,
+				MemMB:       8,
+				Parallelism: 1,
+				Locks:       []LockReq{{Key: rng.Intn(64), Exclusive: rng.Bool(0.5)}},
+			}, 1, func(*Query, Outcome) {
+				completed++
+				launch()
+			})
+		}
+		for j := 0; j < residents; j++ {
+			launch()
+		}
+		s.Run(sim.Time(30 * sim.Second))
+		if i == 0 {
+			b.ReportMetric(float64(completed)/30, "vqueries_per_vsec")
+		}
+	}
+}
+
+// BenchmarkEngineLight measures the quantum loop with a small resident set.
+func BenchmarkEngineLight(b *testing.B) { benchmarkMix(b, 8) }
+
+// BenchmarkEngineCrowded measures the quantum loop with a large resident set
+// (the regime collapsed-baseline experiments run in).
+func BenchmarkEngineCrowded(b *testing.B) { benchmarkMix(b, 256) }
+
+// BenchmarkEngineSubmit measures bare submission cost.
+func BenchmarkEngineSubmit(b *testing.B) {
+	s := sim.New(1)
+	e := New(s, Config{})
+	spec := QuerySpec{CPUWork: 1e12, Parallelism: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Submit(spec, 1, nil)
+	}
+}

@@ -1,0 +1,695 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dbwlm/internal/sim"
+)
+
+// Config sets the simulated server's capacity and behaviour.
+type Config struct {
+	// Cores is the total CPU capacity in core-seconds per second.
+	Cores float64
+	// MemoryMB is the memory available to query working sets.
+	MemoryMB float64
+	// IOMBps is the aggregate disk bandwidth in MB/s.
+	IOMBps float64
+	// Quantum is the scheduling quantum (default 10ms).
+	Quantum sim.Duration
+	// OvercommitExponent shapes the slowdown when demanded working memory
+	// exceeds MemoryMB: every query's progress is divided by
+	// (demand/MemoryMB)^OvercommitExponent. Default 2 — a superlinear
+	// penalty that produces the classic thrashing knee.
+	OvercommitExponent float64
+	// DeadlockCheckEvery is the number of quanta between wait-for-graph
+	// deadlock sweeps (default 5).
+	DeadlockCheckEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores <= 0 {
+		c.Cores = 8
+	}
+	if c.MemoryMB <= 0 {
+		c.MemoryMB = 4096
+	}
+	if c.IOMBps <= 0 {
+		c.IOMBps = 400
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 10 * sim.Millisecond
+	}
+	if c.OvercommitExponent <= 0 {
+		c.OvercommitExponent = 2
+	}
+	if c.DeadlockCheckEvery <= 0 {
+		c.DeadlockCheckEvery = 5
+	}
+	return c
+}
+
+// DefaultConfig is an 8-core, 4GB, 400MB/s server.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+// SuspendStrategy selects how a query's state is preserved across suspension
+// (Chandramouli et al., Section 4.2.3 of the paper).
+type SuspendStrategy int
+
+// Suspend strategies.
+const (
+	// SuspendDumpState writes all operator state at suspend time: expensive
+	// suspend (StateMB of IO), cheap resume, no work lost.
+	SuspendDumpState SuspendStrategy = iota
+	// SuspendGoBack writes only control state: near-free suspend, but
+	// execution reverts to the latest asynchronous checkpoint at resume.
+	SuspendGoBack
+)
+
+// String names the strategy.
+func (s SuspendStrategy) String() string {
+	if s == SuspendDumpState {
+		return "DumpState"
+	}
+	return "GoBack"
+}
+
+// Stats is an instantaneous snapshot of engine load, the raw material for
+// every monitor-metric-driven controller.
+type Stats struct {
+	Running        int // queries making progress
+	Blocked        int // queries waiting on locks
+	Suspended      int
+	InEngine       int     // total non-terminal queries
+	CPUUtilization float64 // fraction of cores busy last quantum
+	IOUtilization  float64
+	MemDemandMB    float64 // working memory demanded by resident queries
+	MemPressure    float64 // demand / capacity
+	ConflictRatio  float64
+	Completed      int64
+	Killed         int64
+	Deadlocks      int64
+}
+
+// Engine is the simulated DBMS server.
+type Engine struct {
+	cfg Config
+	sim *sim.Simulator
+
+	queries map[int64]*Query
+	// order holds query IDs in submission (= ascending-ID) order; terminal
+	// entries are skipped during iteration and compacted lazily, avoiding a
+	// per-quantum sort.
+	order  []int64
+	locks  *lockTable
+	nextID int64
+
+	ticking     bool
+	quantumN    int
+	lastCPUUsed float64
+	lastIOUsed  float64
+
+	// Scratch buffers reused across quanta to avoid per-tick allocation
+	// (the tick is the simulator's hot loop).
+	scratchIDs      []int64
+	scratchRunnable []*Query
+	scratchCPU      []float64
+	scratchIO       []float64
+	scratchSlots    []allocSlot
+
+	completed int64
+	killed    int64
+	deadlocks int64
+
+	// OnQuantum, when non-nil, is invoked at the end of every quantum with
+	// the engine; controllers that need per-quantum observation (PI
+	// throttling, indicator collection) hook here.
+	OnQuantum func(*Engine)
+}
+
+// New returns an engine over the simulator with the given configuration.
+func New(s *sim.Simulator, cfg Config) *Engine {
+	return &Engine{
+		cfg:     cfg.withDefaults(),
+		sim:     s,
+		queries: make(map[int64]*Query),
+		locks:   newLockTable(),
+	}
+}
+
+// Sim returns the engine's simulator.
+func (e *Engine) Sim() *sim.Simulator { return e.sim }
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// Now reports current virtual time.
+func (e *Engine) Now() sim.Time { return e.sim.Now() }
+
+// IdealSeconds reports the stand-alone execution time of spec on an idle
+// server — the denominator-free "expected execution time" of the paper's
+// execution-velocity metric (Section 2.1).
+func (e *Engine) IdealSeconds(spec QuerySpec) float64 {
+	cpu := spec.CPUWork / math.Min(e.cfg.Cores, spec.parallelism())
+	io := spec.IOWork / e.cfg.IOMBps
+	return math.Max(cpu, io)
+}
+
+// Submit dispatches a query for immediate execution. onFinish fires when the
+// query completes, is killed, or dies in a deadlock. The returned Query is
+// the engine-side handle used by execution controls.
+func (e *Engine) Submit(spec QuerySpec, weight float64, onFinish func(*Query, Outcome)) *Query {
+	if weight <= 0 {
+		weight = 1
+	}
+	e.nextID++
+	q := &Query{
+		ID:         e.nextID,
+		Spec:       spec,
+		Weight:     weight,
+		state:      StateRunning,
+		submitAt:   e.sim.Now(),
+		waitingKey: -1,
+		onFinish:   onFinish,
+	}
+	e.queries[q.ID] = q
+	e.order = append(e.order, q.ID)
+	e.ensureTicking()
+	return q
+}
+
+// liveIDs returns resident query IDs in ascending order, compacting the
+// order slice when it accumulates too many terminal entries.
+func (e *Engine) liveIDs() []int64 {
+	if len(e.order) > 2*len(e.queries)+16 {
+		kept := e.order[:0]
+		for _, id := range e.order {
+			if _, ok := e.queries[id]; ok {
+				kept = append(kept, id)
+			}
+		}
+		e.order = kept
+	}
+	ids := e.scratchIDs[:0]
+	for _, id := range e.order {
+		if _, ok := e.queries[id]; ok {
+			ids = append(ids, id)
+		}
+	}
+	e.scratchIDs = ids
+	return ids
+}
+
+// Get returns the engine-side handle for id, or nil if the query has left
+// the engine.
+func (e *Engine) Get(id int64) *Query { return e.queries[id] }
+
+// Running returns all non-terminal queries, sorted by ID for determinism.
+func (e *Engine) Running() []*Query {
+	out := make([]*Query, 0, len(e.queries))
+	for _, q := range e.queries {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// InEngine reports the number of resident (non-terminal) queries.
+func (e *Engine) InEngine() int { return len(e.queries) }
+
+// SetWeight changes a query's priority weight (reprioritization /
+// resource reallocation effector).
+func (e *Engine) SetWeight(id int64, w float64) error {
+	q := e.queries[id]
+	if q == nil {
+		return fmt.Errorf("engine: no such query %d", id)
+	}
+	if w <= 0 {
+		return fmt.Errorf("engine: weight must be positive, got %v", w)
+	}
+	q.Weight = w
+	return nil
+}
+
+// SetThrottle sets a query's sleep fraction in [0, 1) (throttling effector).
+func (e *Engine) SetThrottle(id int64, frac float64) error {
+	q := e.queries[id]
+	if q == nil {
+		return fmt.Errorf("engine: no such query %d", id)
+	}
+	if frac < 0 || frac >= 1 {
+		return fmt.Errorf("engine: throttle fraction %v out of [0,1)", frac)
+	}
+	q.Throttle = frac
+	return nil
+}
+
+// Kill terminates a running query, releasing its resources immediately
+// (query-cancellation effector).
+func (e *Engine) Kill(id int64) error {
+	q := e.queries[id]
+	if q == nil {
+		return fmt.Errorf("engine: no such query %d", id)
+	}
+	e.finish(q, StateKilled, OutcomeKilled)
+	return nil
+}
+
+// Suspend takes a query off the server using the given strategy. With
+// DumpState the query spends StateMB/IOMBps of time writing its state before
+// its resources are released; with GoBack release is immediate but progress
+// reverts to the latest checkpoint. Suspending a blocked or suspending query
+// is an error (locks would be held indefinitely; suspend targets analytical
+// queries, as in the paper).
+func (e *Engine) Suspend(id int64, strategy SuspendStrategy) error {
+	q := e.queries[id]
+	if q == nil {
+		return fmt.Errorf("engine: no such query %d", id)
+	}
+	if q.state != StateRunning {
+		return fmt.Errorf("engine: cannot suspend query %d in state %v", id, q.state)
+	}
+	q.suspends++
+	switch strategy {
+	case SuspendGoBack:
+		q.goBack = true
+		e.park(q)
+	case SuspendDumpState:
+		q.goBack = false
+		dump := sim.DurationFromSeconds(q.Spec.StateMB / e.cfg.IOMBps)
+		if dump <= 0 {
+			e.park(q)
+			return nil
+		}
+		q.state = StateSuspending
+		e.sim.Schedule(dump, func() {
+			if q.state == StateSuspending {
+				e.park(q)
+			}
+		})
+	default:
+		return fmt.Errorf("engine: unknown suspend strategy %v", strategy)
+	}
+	return nil
+}
+
+// park completes a suspension: resources are released and the query becomes
+// dormant. Held locks are released (suspended queries must not block others).
+func (e *Engine) park(q *Query) {
+	if q.goBack {
+		// Revert to the latest checkpoint.
+		cp := q.lastCheckpoint
+		if q.Spec.CPUWork > 0 {
+			q.resumeProgressCPU = cp * q.Spec.CPUWork
+		}
+		if q.Spec.IOWork > 0 {
+			q.resumeProgressIO = cp * q.Spec.IOWork
+		}
+	} else {
+		q.resumeProgressCPU = q.cpuDone
+		q.resumeProgressIO = q.ioDone
+	}
+	q.state = StateSuspended
+	q.waitingKey = -1
+	for _, w := range e.locks.releaseAll(q) {
+		e.wake(w)
+	}
+}
+
+// Resume puts a suspended query back on the server. With DumpState the saved
+// state is read back first (StateMB of extra IO charged to the query); with
+// GoBack the work since the last checkpoint is simply re-executed.
+func (e *Engine) Resume(id int64) error {
+	q := e.queries[id]
+	if q == nil {
+		return fmt.Errorf("engine: no such query %d", id)
+	}
+	if q.state != StateSuspended {
+		return fmt.Errorf("engine: cannot resume query %d in state %v", id, q.state)
+	}
+	q.cpuDone = q.resumeProgressCPU
+	q.ioDone = q.resumeProgressIO
+	if !q.goBack && q.Spec.StateMB > 0 {
+		// Reading the dump back is extra IO work: subtract from ioDone,
+		// clamping at zero (the engine re-does it as part of the run).
+		q.ioDone = math.Max(0, q.ioDone-q.Spec.StateMB)
+	}
+	q.state = StateRunning
+	// Re-acquisition: locks below the already-passed progress points must be
+	// re-acquired as execution replays; reset nextLock to match progress.
+	q.nextLock = 0
+	e.ensureTicking()
+	return nil
+}
+
+// finish removes q from the engine with the given terminal state.
+func (e *Engine) finish(q *Query, st State, oc Outcome) {
+	q.state = st
+	q.finishAt = e.sim.Now()
+	for _, w := range e.locks.releaseAll(q) {
+		e.wake(w)
+	}
+	delete(e.queries, q.ID)
+	switch oc {
+	case OutcomeCompleted:
+		e.completed++
+	case OutcomeKilled:
+		e.killed++
+	case OutcomeDeadlocked:
+		e.deadlocks++
+	}
+	if q.onFinish != nil {
+		cb := q.onFinish
+		// Fire the callback after the current quantum's bookkeeping, so
+		// callbacks observe a consistent engine.
+		e.sim.Schedule(0, func() { cb(q, oc) })
+	}
+}
+
+func (e *Engine) wake(q *Query) {
+	if q.state == StateBlocked {
+		q.state = StateRunning
+		q.waitingKey = -1
+	}
+}
+
+// ensureTicking starts the quantum loop if it is not running.
+func (e *Engine) ensureTicking() {
+	if e.ticking {
+		return
+	}
+	e.ticking = true
+	e.sim.Schedule(e.cfg.Quantum, e.tick)
+}
+
+// tick advances every resident query by one quantum.
+func (e *Engine) tick() {
+	if len(e.queries) == 0 {
+		e.ticking = false
+		return
+	}
+	e.quantumN++
+	dt := e.cfg.Quantum.Seconds()
+
+	// Phase 1: lock acquisition for running queries that have reached their
+	// next lock point.
+	ids := e.liveIDs()
+	for _, id := range ids {
+		q := e.queries[id]
+		if q == nil {
+			continue
+		}
+		if q.state != StateRunning {
+			continue
+		}
+		e.acquireDueLocks(q)
+	}
+
+	// Phase 2: memory pressure over resident (running + blocked +
+	// suspending) queries.
+	var memDemand float64
+	for _, q := range e.queries {
+		if q.state == StateRunning || q.state == StateBlocked || q.state == StateSuspending {
+			memDemand += q.Spec.MemMB
+		}
+	}
+	slowdown := 1.0
+	if memDemand > e.cfg.MemoryMB {
+		slowdown = math.Pow(memDemand/e.cfg.MemoryMB, e.cfg.OvercommitExponent)
+	}
+
+	// Phase 3: CPU and IO allocation among runnable queries.
+	runnable := e.scratchRunnable[:0]
+	for _, id := range ids {
+		q := e.queries[id]
+		if q == nil {
+			continue
+		}
+		if q.state == StateRunning {
+			runnable = append(runnable, q)
+		}
+	}
+	e.scratchRunnable = runnable
+	cpuShares := e.allocateCPU(runnable)
+	ioShares := e.allocateIO(runnable)
+
+	// Phase 4: advance progress and account blocked time.
+	var cpuUsed, ioUsed float64
+	for i, q := range runnable {
+		eff := dt / slowdown
+		dc := cpuShares[i] * eff
+		di := ioShares[i] * eff
+		if q.Spec.CPUWork > 0 {
+			q.cpuDone = math.Min(q.Spec.CPUWork, q.cpuDone+dc)
+		}
+		if q.Spec.IOWork > 0 {
+			q.ioDone = math.Min(q.Spec.IOWork, q.ioDone+di)
+		}
+		cpuUsed += cpuShares[i]
+		ioUsed += ioShares[i]
+		// Asynchronous checkpointing.
+		every := q.Spec.checkpointEvery()
+		if p := q.Progress(); p >= q.lastCheckpoint+every {
+			q.lastCheckpoint = math.Floor(p/every) * every
+		}
+	}
+	for _, id := range ids {
+		q := e.queries[id]
+		if q == nil {
+			continue
+		}
+		switch q.state {
+		case StateBlocked:
+			q.blockedFor += e.cfg.Quantum
+		case StateSuspended:
+			q.suspended += e.cfg.Quantum
+		}
+	}
+	e.lastCPUUsed = cpuUsed
+	e.lastIOUsed = ioUsed
+
+	// Phase 5: completions.
+	for _, id := range ids {
+		q := e.queries[id]
+		if q == nil {
+			continue
+		}
+		if q.state != StateRunning {
+			continue
+		}
+		cpuOK := q.Spec.CPUWork <= 0 || q.cpuDone >= q.Spec.CPUWork-1e-12
+		ioOK := q.Spec.IOWork <= 0 || q.ioDone >= q.Spec.IOWork-1e-12
+		if cpuOK && ioOK {
+			e.finish(q, StateDone, OutcomeCompleted)
+		}
+	}
+
+	// Phase 6: periodic deadlock detection; the youngest query in a cycle
+	// is chosen as the victim.
+	if e.quantumN%e.cfg.DeadlockCheckEvery == 0 {
+		e.resolveDeadlocks()
+	}
+
+	if e.OnQuantum != nil {
+		e.OnQuantum(e)
+	}
+
+	if len(e.queries) > 0 {
+		e.sim.Schedule(e.cfg.Quantum, e.tick)
+	} else {
+		e.ticking = false
+	}
+}
+
+// acquireDueLocks acquires, in order, every lock whose AtProgress point has
+// been reached. The query blocks on the first one that conflicts.
+func (e *Engine) acquireDueLocks(q *Query) {
+	p := q.Progress()
+	for q.nextLock < len(q.Spec.Locks) {
+		lr := q.Spec.Locks[q.nextLock]
+		if lr.AtProgress > p {
+			return
+		}
+		// Skip locks already held (after resume replay).
+		if holds(q, lr.Key) {
+			q.nextLock++
+			continue
+		}
+		if e.locks.tryAcquire(q, lr.Key, lr.Exclusive) {
+			q.nextLock++
+			continue
+		}
+		q.state = StateBlocked
+		q.waitingKey = lr.Key
+		q.nextLock++ // the waiter queue grant will add it to held
+		return
+	}
+}
+
+func holds(q *Query, key int) bool {
+	for _, k := range q.held {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// resolveDeadlocks kills the youngest member of each wait-for cycle.
+func (e *Engine) resolveDeadlocks() {
+	for {
+		blocked := make(map[int64]int)
+		for id, q := range e.queries {
+			if q.state == StateBlocked {
+				blocked[id] = q.waitingKey
+			}
+		}
+		if len(blocked) == 0 {
+			return
+		}
+		cycle := e.locks.detectDeadlock(blocked)
+		if len(cycle) == 0 {
+			return
+		}
+		victim := cycle[0]
+		for _, id := range cycle {
+			if id > victim {
+				victim = id
+			}
+		}
+		q := e.queries[victim]
+		if q == nil {
+			return
+		}
+		e.finish(q, StateDeadlocked, OutcomeDeadlocked)
+	}
+}
+
+type allocSlot struct {
+	i   int
+	w   float64
+	cap float64
+}
+
+// waterfill divides capacity among slots proportionally to weight, capping
+// each slot and redistributing the excess. Throttled queries get a reduced
+// cap, so their self-imposed sleep frees real capacity for everyone else —
+// and leaves it unused when no one else wants it.
+func waterfill(slots []allocSlot, capacity float64, shares []float64) {
+	for len(slots) > 0 && capacity > 1e-12 {
+		var sumW float64
+		for _, s := range slots {
+			sumW += s.w
+		}
+		if sumW <= 0 {
+			return
+		}
+		progressed := false
+		var remaining []allocSlot
+		for _, s := range slots {
+			alloc := capacity * s.w / sumW
+			if alloc >= s.cap {
+				shares[s.i] = s.cap
+				capacity -= s.cap
+				progressed = true
+			} else {
+				remaining = append(remaining, s)
+			}
+		}
+		if !progressed {
+			for _, s := range remaining {
+				shares[s.i] = capacity * s.w / sumW
+			}
+			return
+		}
+		slots = remaining
+		if capacity < 0 {
+			capacity = 0
+		}
+	}
+}
+
+// allocateCPU divides cores among runnable queries by weight, capping each
+// query at parallelism×(1−throttle): a throttled query sleeps that fraction
+// of each quantum regardless of how idle the server is.
+func (e *Engine) allocateCPU(runnable []*Query) []float64 {
+	shares := resizeZero(&e.scratchCPU, len(runnable))
+	slots := e.scratchSlots[:0]
+	for i, q := range runnable {
+		if q.Spec.CPUWork <= 0 || q.cpuDone >= q.Spec.CPUWork {
+			continue
+		}
+		if q.Weight <= 0 {
+			continue
+		}
+		slots = append(slots, allocSlot{i: i, w: q.Weight, cap: q.Spec.parallelism() * (1 - q.Throttle)})
+	}
+	e.scratchSlots = slots
+	waterfill(slots, e.cfg.Cores, shares)
+	return shares
+}
+
+// allocateIO divides IO bandwidth among runnable queries with IO remaining,
+// proportionally to weight, capping each query at (1−throttle) of the total
+// bandwidth.
+func (e *Engine) allocateIO(runnable []*Query) []float64 {
+	shares := resizeZero(&e.scratchIO, len(runnable))
+	slots := e.scratchSlots[:0]
+	for i, q := range runnable {
+		if q.Spec.IOWork <= 0 || q.ioDone >= q.Spec.IOWork {
+			continue
+		}
+		if q.Weight <= 0 {
+			continue
+		}
+		slots = append(slots, allocSlot{i: i, w: q.Weight, cap: e.cfg.IOMBps * (1 - q.Throttle)})
+	}
+	e.scratchSlots = slots
+	waterfill(slots, e.cfg.IOMBps, shares)
+	return shares
+}
+
+// resizeZero grows (or shrinks) *buf to n zeroed entries, reusing capacity.
+func resizeZero(buf *[]float64, n int) []float64 {
+	s := *buf
+	if cap(s) < n {
+		s = make([]float64, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	*buf = s
+	return s
+}
+
+// Stats snapshots current engine load.
+func (e *Engine) StatsNow() Stats {
+	st := Stats{
+		Completed: e.completed,
+		Killed:    e.killed,
+		Deadlocks: e.deadlocks,
+	}
+	var memDemand float64
+	for _, q := range e.queries {
+		st.InEngine++
+		switch q.state {
+		case StateRunning, StateSuspending:
+			st.Running++
+			memDemand += q.Spec.MemMB
+		case StateBlocked:
+			st.Blocked++
+			memDemand += q.Spec.MemMB
+		case StateSuspended:
+			st.Suspended++
+		}
+	}
+	st.MemDemandMB = memDemand
+	st.MemPressure = memDemand / e.cfg.MemoryMB
+	st.CPUUtilization = e.lastCPUUsed / e.cfg.Cores
+	st.IOUtilization = e.lastIOUsed / e.cfg.IOMBps
+	st.ConflictRatio = conflictRatio(e.queries)
+	return st
+}

@@ -1,0 +1,233 @@
+package engine
+
+import "sort"
+
+// lockTable implements strict two-phase locking over an integer key space
+// with shared/exclusive modes, FIFO waiter queues, and wait-for-graph
+// deadlock detection. It also computes the conflict ratio of Moenkeberg &
+// Weikum [56]: locks held by all transactions ÷ locks held by non-blocked
+// transactions — the admission metric of Table 2's third row.
+type lockTable struct {
+	// holders maps key -> set of holder query IDs (multiple only if shared).
+	holders map[int]map[int64]bool
+	// exclusive maps key -> true if the current hold is exclusive.
+	exclusive map[int]bool
+	// waiters maps key -> FIFO of waiting queries.
+	waiters map[int][]*lockWaiter
+}
+
+type lockWaiter struct {
+	q         *Query
+	exclusive bool
+}
+
+func newLockTable() *lockTable {
+	return &lockTable{
+		holders:   make(map[int]map[int64]bool),
+		exclusive: make(map[int]bool),
+		waiters:   make(map[int][]*lockWaiter),
+	}
+}
+
+// tryAcquire attempts to grant key to q. It returns true on success; on
+// failure q is appended to the key's waiter queue.
+func (lt *lockTable) tryAcquire(q *Query, key int, exclusive bool) bool {
+	hs := lt.holders[key]
+	if len(hs) == 0 {
+		lt.grant(q, key, exclusive)
+		return true
+	}
+	if hs[q.ID] {
+		// Re-entrant: upgrade to exclusive only when sole holder.
+		if exclusive && !lt.exclusive[key] {
+			if len(hs) == 1 {
+				lt.exclusive[key] = true
+				return true
+			}
+			lt.wait(q, key, exclusive)
+			return false
+		}
+		return true
+	}
+	if !exclusive && !lt.exclusive[key] && len(lt.waiters[key]) == 0 {
+		// Shared with shared, and no writer is queued (avoid writer starvation).
+		lt.grant(q, key, false)
+		return true
+	}
+	lt.wait(q, key, exclusive)
+	return false
+}
+
+func (lt *lockTable) grant(q *Query, key int, exclusive bool) {
+	hs := lt.holders[key]
+	if hs == nil {
+		hs = make(map[int64]bool)
+		lt.holders[key] = hs
+	}
+	hs[q.ID] = true
+	if exclusive {
+		lt.exclusive[key] = true
+	}
+	q.held = append(q.held, key)
+}
+
+func (lt *lockTable) wait(q *Query, key int, exclusive bool) {
+	lt.waiters[key] = append(lt.waiters[key], &lockWaiter{q: q, exclusive: exclusive})
+}
+
+// releaseAll drops every lock held by q and removes q from the waiter queue
+// of the key it was blocked on (if any). It returns the queries that were
+// granted locks as a result and can now be woken.
+func (lt *lockTable) releaseAll(q *Query) []*Query {
+	var woken []*Query
+	for _, key := range q.held {
+		hs := lt.holders[key]
+		delete(hs, q.ID)
+		if len(hs) == 0 {
+			delete(lt.holders, key)
+			delete(lt.exclusive, key)
+			woken = append(woken, lt.promoteWaiters(key)...)
+		}
+	}
+	q.held = q.held[:0]
+	// Remove q from the one waiter queue it can be in (it may have been
+	// blocked when killed). A query waits on at most one key at a time.
+	if key := q.waitingKey; key >= 0 {
+		ws := lt.waiters[key]
+		out := ws[:0]
+		for _, w := range ws {
+			if w.q.ID != q.ID {
+				out = append(out, w)
+			}
+		}
+		if len(out) == 0 {
+			delete(lt.waiters, key)
+		} else {
+			lt.waiters[key] = out
+		}
+	}
+	return woken
+}
+
+// promoteWaiters grants the key to the next compatible batch of waiters:
+// either the first waiter if exclusive, or the leading run of shared waiters.
+func (lt *lockTable) promoteWaiters(key int) []*Query {
+	ws := lt.waiters[key]
+	if len(ws) == 0 {
+		return nil
+	}
+	var woken []*Query
+	if ws[0].exclusive {
+		w := ws[0]
+		lt.waiters[key] = ws[1:]
+		if len(lt.waiters[key]) == 0 {
+			delete(lt.waiters, key)
+		}
+		lt.grant(w.q, key, true)
+		woken = append(woken, w.q)
+		return woken
+	}
+	// Grant all leading shared waiters.
+	i := 0
+	for i < len(ws) && !ws[i].exclusive {
+		lt.grant(ws[i].q, key, false)
+		woken = append(woken, ws[i].q)
+		i++
+	}
+	lt.waiters[key] = ws[i:]
+	if len(lt.waiters[key]) == 0 {
+		delete(lt.waiters, key)
+	}
+	return woken
+}
+
+// holdersOf returns the IDs of queries holding key, sorted for determinism.
+func (lt *lockTable) holdersOf(key int) []int64 {
+	hs := lt.holders[key]
+	out := make([]int64, 0, len(hs))
+	for id := range hs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// detectDeadlock finds one cycle in the wait-for graph and returns the IDs on
+// it (empty when none). blocked maps query ID -> the key it waits for.
+func (lt *lockTable) detectDeadlock(blocked map[int64]int) []int64 {
+	// Build edges: waiter -> each holder of the awaited key.
+	adj := make(map[int64][]int64, len(blocked))
+	ids := make([]int64, 0, len(blocked))
+	for id, key := range blocked {
+		adj[id] = lt.holdersOf(key)
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int64]int)
+	var stack []int64
+	var cycle []int64
+	var dfs func(id int64) bool
+	dfs = func(id int64) bool {
+		color[id] = gray
+		stack = append(stack, id)
+		for _, next := range adj[id] {
+			switch color[next] {
+			case gray:
+				// Found a cycle: emit the stack suffix from next.
+				for i := len(stack) - 1; i >= 0; i-- {
+					cycle = append(cycle, stack[i])
+					if stack[i] == next {
+						break
+					}
+				}
+				return true
+			case white:
+				if _, isBlocked := blocked[next]; isBlocked {
+					if dfs(next) {
+						return true
+					}
+				}
+			}
+		}
+		color[id] = black
+		stack = stack[:len(stack)-1]
+		return false
+	}
+	for _, id := range ids {
+		if color[id] == white {
+			if dfs(id) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+// conflictRatio computes total locks held by all queries ÷ locks held by
+// active (non-blocked) queries. A ratio near 1 means little contention; the
+// Moenkeberg & Weikum admission controller suspends new transactions when it
+// exceeds a critical threshold (~1.3).
+func conflictRatio(queries map[int64]*Query) float64 {
+	var total, active int
+	for _, q := range queries {
+		n := len(q.held)
+		total += n
+		if q.state != StateBlocked {
+			active += n
+		}
+	}
+	if active == 0 {
+		if total == 0 {
+			return 1
+		}
+		// All lock holders blocked: maximal contention.
+		return float64(total) + 1
+	}
+	return float64(total) / float64(active)
+}

@@ -1,0 +1,106 @@
+package execctl
+
+import (
+	"dbwlm/internal/engine"
+	"dbwlm/internal/metrics"
+	"dbwlm/internal/sim"
+)
+
+// Killer implements query cancellation (Table 3, row 3): a managed query
+// whose elapsed time or consumed work exceeds its limit is killed, releasing
+// its resources immediately. With Resubmit set the kill is reported so the
+// workload manager can queue the request again (the "kill-and-resubmit"
+// action of Krompass et al. [39]).
+type Killer struct {
+	Engine *engine.Engine
+	// MaxElapsedSeconds kills queries running longer than this (0 disables).
+	MaxElapsedSeconds float64
+	// MaxRows kills queries returning more rows than this (0 disables).
+	MaxRows int64
+	// MaxCPUSeconds kills queries that have consumed more CPU than this
+	// (0 disables) — the CPU-time exception criterion of Teradata ASM and
+	// SQL Server's CPU Threshold Exceeded event.
+	MaxCPUSeconds float64
+	// Resubmit requests the manager to re-queue killed work.
+	Resubmit bool
+	// OnKill fires for every kill with the query ID and whether resubmission
+	// was requested.
+	OnKill func(id int64, resubmit bool)
+	// CheckEvery is the monitor period (default 500ms).
+	CheckEvery sim.Duration
+	// Events, when non-nil, records control actions.
+	Events *metrics.Recorder
+
+	managed map[int64]*Managed
+	kills   int64
+	started bool
+}
+
+// NewKiller returns a cancellation controller.
+func NewKiller(e *engine.Engine, maxElapsedSeconds float64) *Killer {
+	return &Killer{Engine: e, MaxElapsedSeconds: maxElapsedSeconds, managed: make(map[int64]*Managed)}
+}
+
+// Manage registers a query for cancellation monitoring.
+func (k *Killer) Manage(m *Managed) {
+	k.managed[m.Query.ID] = m
+	k.ensureStarted()
+}
+
+// Kills reports the number of cancellations performed.
+func (k *Killer) Kills() int64 { return k.kills }
+
+func (k *Killer) ensureStarted() {
+	if k.started {
+		return
+	}
+	k.started = true
+	every := k.CheckEvery
+	if every <= 0 {
+		every = 500 * sim.Millisecond
+	}
+	k.Engine.Sim().Every(every, func() bool {
+		k.sweep()
+		return true
+	})
+}
+
+func (k *Killer) sweep() {
+	now := k.Engine.Now()
+	for id := range k.managed {
+		q := k.Engine.Get(id)
+		if q == nil || q.State().Terminal() {
+			delete(k.managed, id)
+			continue
+		}
+		elapsed := now.Sub(q.SubmittedAt()).Seconds()
+		kill := false
+		what := ""
+		if k.MaxElapsedSeconds > 0 && elapsed > k.MaxElapsedSeconds {
+			kill, what = true, "ElapsedTime"
+		}
+		if k.MaxRows > 0 && q.RowsReturned() > k.MaxRows {
+			kill, what = true, "RowsReturned"
+		}
+		if k.MaxCPUSeconds > 0 && q.CPUDone() > k.MaxCPUSeconds {
+			kill, what = true, "CPUTime"
+		}
+		if !kill {
+			continue
+		}
+		delete(k.managed, id)
+		if err := k.Engine.Kill(id); err != nil {
+			continue
+		}
+		k.kills++
+		if k.Events != nil {
+			k.Events.Record(metrics.Event{
+				Kind: metrics.EventControlAction, At: now, Query: id,
+				What: "kill", Detail: what, Value: elapsed,
+			})
+		}
+		if k.OnKill != nil {
+			k.OnKill(id, k.Resubmit)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package execctl
+
+import (
+	"testing"
+
+	"dbwlm/internal/engine"
+	"dbwlm/internal/progress"
+	"dbwlm/internal/sim"
+)
+
+func TestSuspenderSkipsNearlyDoneQueries(t *testing.T) {
+	s, e := newEng(engine.Config{Cores: 4, IOMBps: 1000})
+	tracker := progress.NewTracker(e, 100*sim.Millisecond)
+
+	pressure := false
+	sp := NewSuspender(e, func() bool { return pressure }, engine.SuspendGoBack)
+	sp.SkipIfRemainingUnder = 10
+	sp.Remaining = func(id int64) (float64, bool) {
+		est, ok := tracker.Estimate(id)
+		if !ok || !est.Confident {
+			return 0, false
+		}
+		return est.RemainingSeconds, true
+	}
+
+	// Two queries: one nearly done (2s left of 20), one fresh (100s).
+	almostDone := e.Submit(engine.QuerySpec{CPUWork: 5, Parallelism: 1}, 1, nil)
+	fresh := e.Submit(engine.QuerySpec{CPUWork: 200, Parallelism: 1}, 1, nil)
+	sp.Manage(&Managed{Query: almostDone})
+	sp.Manage(&Managed{Query: fresh})
+
+	// Let both run and the tracker calibrate; each gets ~2 cores... with
+	// parallelism 1 each runs at 1 core. After 4s, almostDone has ~1s left.
+	s.Run(sim.Time(4 * sim.Second))
+	pressure = true
+	s.Run(sim.Time(6 * sim.Second))
+
+	if fresh.State() != engine.StateSuspended {
+		t.Fatalf("fresh query should be suspended, state=%v", fresh.State())
+	}
+	if almostDone.State() == engine.StateSuspended {
+		t.Fatal("nearly-done query was suspended despite the progress indicator")
+	}
+	s.Run(sim.Time(10 * sim.Second))
+	if almostDone.State() != engine.StateDone {
+		t.Fatalf("nearly-done query did not finish: %v", almostDone.State())
+	}
+}
+
+func TestSuspenderWithoutProgressIndicatorSuspendsAll(t *testing.T) {
+	s, e := newEng(engine.Config{Cores: 4, IOMBps: 1000})
+	sp := NewSuspender(e, func() bool { return true }, engine.SuspendGoBack)
+	q := e.Submit(engine.QuerySpec{CPUWork: 5, Parallelism: 1}, 1, nil)
+	sp.Manage(&Managed{Query: q})
+	s.Run(sim.Time(sim.Second))
+	if q.State() != engine.StateSuspended {
+		t.Fatalf("state = %v, want suspended (no grace configured)", q.State())
+	}
+}

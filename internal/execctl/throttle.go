@@ -1,0 +1,300 @@
+package execctl
+
+import (
+	"math"
+
+	"dbwlm/internal/engine"
+	"dbwlm/internal/learn"
+	"dbwlm/internal/sim"
+)
+
+// AmountController computes the amount of throttling (a sleep fraction in
+// [0, 1)) from an observed production-performance signal. Implementations
+// are the three controller designs of the throttling literature: the
+// Proportional-Integral controller of Parekh et al. [64], and the simple
+// step and black-box model controllers of Powley et al. [65][66].
+type AmountController interface {
+	Name() string
+	// Update consumes the latest measurement of the protected (production)
+	// class's performance degradation — observed/baseline, 1 means no
+	// degradation — and returns the new throttle fraction for the managed
+	// work.
+	Update(perfRatio float64) float64
+}
+
+// PIController is the classic discrete PI loop of Parekh et al.: the error
+// is the gap between the performance-degradation target and the observed
+// ratio, and the control output (sleep fraction) accumulates the integral
+// term. Parekh et al. assume an approximately linear relationship between
+// throttle amount and production performance, which the engine's
+// proportional-share model satisfies.
+type PIController struct {
+	// Target is the minimum acceptable perfRatio (for example 0.95: the
+	// production class must keep 95% of baseline performance).
+	Target float64
+	// Kp and Ki are the proportional and integral gains (defaults 0.5, 0.3).
+	Kp, Ki float64
+
+	integral float64
+	output   float64
+}
+
+// Name implements AmountController.
+func (c *PIController) Name() string { return "pi" }
+
+// Update implements AmountController.
+func (c *PIController) Update(perfRatio float64) float64 {
+	kp, ki := c.Kp, c.Ki
+	if kp == 0 {
+		kp = 0.5
+	}
+	if ki == 0 {
+		ki = 0.3
+	}
+	// Positive error = production below target = throttle more.
+	err := c.Target - perfRatio
+	c.integral += err
+	// Anti-windup: clamp the integral so output can recover.
+	if c.integral > 3 {
+		c.integral = 3
+	}
+	if c.integral < -3 {
+		c.integral = -3
+	}
+	c.output = kp*err + ki*c.integral
+	if c.output < 0 {
+		c.output = 0
+	}
+	if c.output > 0.95 {
+		c.output = 0.95
+	}
+	return c.output
+}
+
+// StepController is Powley et al.'s "simple controller": a diminishing step
+// function that raises the throttle while the goal is violated and lowers it
+// when met, halving the step on every direction change.
+type StepController struct {
+	// Target as in PIController.
+	Target float64
+	// InitialStep is the first adjustment (default 0.2).
+	InitialStep float64
+	// MinStep bounds the decay (default 0.01).
+	MinStep float64
+
+	step    float64
+	lastDir int
+	output  float64
+}
+
+// Name implements AmountController.
+func (c *StepController) Name() string { return "step" }
+
+// Update implements AmountController.
+func (c *StepController) Update(perfRatio float64) float64 {
+	if c.step == 0 {
+		c.step = c.InitialStep
+		if c.step == 0 {
+			c.step = 0.2
+		}
+	}
+	minStep := c.MinStep
+	if minStep == 0 {
+		minStep = 0.01
+	}
+	dir := -1
+	if perfRatio < c.Target {
+		dir = +1 // violated: throttle more
+	}
+	if c.lastDir != 0 && dir != c.lastDir {
+		c.step /= 2
+		if c.step < minStep {
+			c.step = minStep
+		}
+	}
+	c.lastDir = dir
+	c.output += float64(dir) * c.step
+	if c.output < 0 {
+		c.output = 0
+	}
+	if c.output > 0.95 {
+		c.output = 0.95
+	}
+	return c.output
+}
+
+// BlackBoxController is Powley et al.'s model-based controller: it fits a
+// linear model perfRatio = a + b·throttle from observed (throttle, ratio)
+// pairs and jumps straight to the throttle predicted to achieve the target.
+// Until enough observations exist it behaves like a step controller.
+type BlackBoxController struct {
+	Target float64
+	// MinSamples before the model engages (default 4).
+	MinSamples int
+
+	warmup  StepController
+	samples []learn.RegSample
+	output  float64
+}
+
+// Name implements AmountController.
+func (c *BlackBoxController) Name() string { return "black-box" }
+
+// Update implements AmountController.
+func (c *BlackBoxController) Update(perfRatio float64) float64 {
+	c.samples = append(c.samples, learn.RegSample{Features: []float64{c.output}, Value: perfRatio})
+	const maxSamples = 64
+	if len(c.samples) > maxSamples {
+		c.samples = c.samples[1:]
+	}
+	min := c.MinSamples
+	if min <= 0 {
+		min = 4
+	}
+	if len(c.samples) < min {
+		c.warmup.Target = c.Target
+		c.output = c.warmup.Update(perfRatio)
+		return c.output
+	}
+	lr := learn.TrainLinReg(c.samples)
+	coef := lr.Coefficients()
+	a, b := coef[0], coef[1]
+	if math.Abs(b) < 1e-6 {
+		// Throttle has no observable effect yet; probe upward gently.
+		c.output = math.Min(0.95, c.output+0.05)
+		return c.output
+	}
+	// Solve target = a + b·u for u.
+	u := (c.Target - a) / b
+	if math.IsNaN(u) || math.IsInf(u, 0) {
+		return c.output
+	}
+	if u < 0 {
+		u = 0
+	}
+	if u > 0.95 {
+		u = 0.95
+	}
+	c.output = u
+	return c.output
+}
+
+// ThrottleMethod is how a computed amount of throttling is imposed on a
+// running request (Powley et al.): constant throttling spreads many short
+// pauses evenly across the run; interrupt throttling takes one contiguous
+// pause whose length is set by the amount.
+type ThrottleMethod int
+
+// Throttle methods.
+const (
+	MethodConstant ThrottleMethod = iota
+	MethodInterrupt
+)
+
+// String names the method.
+func (m ThrottleMethod) String() string {
+	if m == MethodConstant {
+		return "constant"
+	}
+	return "interrupt"
+}
+
+// Throttler closes the loop: it measures the protected class's performance
+// every period, asks the AmountController for the sleep fraction, and
+// applies it to all managed queries with the configured method.
+type Throttler struct {
+	Engine *engine.Engine
+	// PerfRatio measures the protected class's current performance over its
+	// baseline (1 = unimpaired).
+	PerfRatio func() float64
+	// Controller computes the amount of throttling.
+	Controller AmountController
+	// Method selects constant or interrupt throttling.
+	Method ThrottleMethod
+	// Period is the control interval (default 1s).
+	Period sim.Duration
+	// InterruptWindow is the horizon over which an interrupt pause is sized
+	// (default 10s): pause length = amount × window.
+	InterruptWindow sim.Duration
+
+	managed map[int64]*Managed
+	amount  float64
+	started bool
+	// nextPauseAt tracks when each query's next interrupt pause may begin
+	// (one pause per window, so pause and free-run alternate).
+	nextPauseAt map[int64]sim.Time
+}
+
+// NewThrottler builds the loop; call Manage for each query to throttle.
+func NewThrottler(e *engine.Engine, perf func() float64, ctrl AmountController, method ThrottleMethod) *Throttler {
+	return &Throttler{
+		Engine: e, PerfRatio: perf, Controller: ctrl, Method: method,
+		managed:     make(map[int64]*Managed),
+		nextPauseAt: make(map[int64]sim.Time),
+	}
+}
+
+// Manage registers a query for throttling.
+func (t *Throttler) Manage(m *Managed) {
+	t.managed[m.Query.ID] = m
+	t.ensureStarted()
+}
+
+// Amount reports the current sleep fraction.
+func (t *Throttler) Amount() float64 { return t.amount }
+
+func (t *Throttler) ensureStarted() {
+	if t.started {
+		return
+	}
+	t.started = true
+	period := t.Period
+	if period <= 0 {
+		period = sim.Second
+	}
+	t.Engine.Sim().Every(period, func() bool {
+		t.step()
+		return true
+	})
+}
+
+func (t *Throttler) step() {
+	t.amount = t.Controller.Update(t.PerfRatio())
+	now := t.Engine.Now()
+	window := t.InterruptWindow
+	if window <= 0 {
+		window = 10 * sim.Second
+	}
+	for id := range t.managed {
+		q := t.Engine.Get(id)
+		if q == nil || q.State().Terminal() {
+			delete(t.managed, id)
+			delete(t.nextPauseAt, id)
+			continue
+		}
+		switch t.Method {
+		case MethodConstant:
+			_ = t.Engine.SetThrottle(id, t.amount)
+		case MethodInterrupt:
+			if now < t.nextPauseAt[id] {
+				continue // current pause/run cycle still in progress
+			}
+			if t.amount <= 0.01 {
+				_ = t.Engine.SetThrottle(id, 0)
+				continue
+			}
+			// One contiguous pause of amount × window, then a free run for
+			// the rest of the window — pause and run alternate so the duty
+			// cycle equals the amount.
+			pause := sim.Duration(float64(window) * t.amount)
+			t.nextPauseAt[id] = now.Add(window)
+			_ = t.Engine.SetThrottle(id, 0.95)
+			id := id
+			t.Engine.Sim().Schedule(pause, func() {
+				if q := t.Engine.Get(id); q != nil && !q.State().Terminal() {
+					_ = t.Engine.SetThrottle(id, 0)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"dbwlm"
+	"dbwlm/internal/autonomic"
+	"dbwlm/internal/engine"
+	"dbwlm/internal/execctl"
+	"dbwlm/internal/policy"
+	"dbwlm/internal/sim"
+	"dbwlm/internal/workload"
+)
+
+// RunAutonomicMAPE compares the Section 5.3 autonomic manager — a MAPE loop
+// whose planner picks among throttle / suspend / kill / reprioritize by
+// utility score — against a static threshold configuration, under a workload
+// whose mix shifts mid-run (the scenario the paper's open problems describe:
+// static thresholds are tuned for one mix and miss after the shift).
+func RunAutonomicMAPE(variant string, seed uint64) Row {
+	s, m := NewManager(seed)
+	m.Router = UniformRouter()
+	seq := &workload.Sequence{}
+	rng := s.RNG().Fork(1234)
+
+	switch variant {
+	case "static-threshold":
+		// Tuned for the first phase: a kill threshold long enough that the
+		// early, moderate analytics finish. After the shift to monsters the
+		// threshold is far too lenient.
+		killer := execctl.NewKiller(m.Engine(), 500)
+		m.OnDispatch = func(rr *dbwlm.Running) {
+			if rr.Req.Workload == "analytics" {
+				killer.Manage(&execctl.Managed{Query: rr.Query, Class: "analytics"})
+			}
+		}
+	case "autonomic-mape":
+		loop := &autonomic.Loop{
+			Period: 2 * sim.Second,
+			Monitor: func() autonomic.Observation {
+				return autonomic.Observation{
+					At:          m.Now(),
+					Engine:      m.Engine().StatsNow(),
+					Attainments: m.Attainments(),
+				}
+			},
+			Analyze: autonomic.AnalyzeAttainments,
+			Plan: func(obs autonomic.Observation, symptoms []autonomic.Symptom) []autonomic.PlannedAction {
+				// Build candidates from the running low-priority queries.
+				var severity float64
+				for _, sy := range symptoms {
+					if sy.Severity > severity {
+						severity = sy.Severity
+					}
+				}
+				var out []autonomic.PlannedAction
+				for _, rr := range m.RunningAll() {
+					if rr.Req.Workload != "analytics" || rr.Query.State() != engine.StateRunning {
+						continue
+					}
+					prog := rr.Query.Progress()
+					ideal := m.Engine().IdealSeconds(rr.Req.True)
+					cands := []autonomic.Candidate{
+						{
+							Action:      autonomic.PlannedAction{Kind: autonomic.ActionThrottle, Query: rr.Query.ID, Amount: 0.85},
+							FreedWeight: 0.85, WorkLost: 0, LatencySeconds: 0.1,
+						},
+						{
+							Action:      autonomic.PlannedAction{Kind: autonomic.ActionSuspend, Query: rr.Query.ID},
+							FreedWeight: 1.0, WorkLost: 0,
+							LatencySeconds: rr.Req.True.StateMB / 800,
+						},
+						{
+							Action:      autonomic.PlannedAction{Kind: autonomic.ActionKill, Query: rr.Query.ID},
+							FreedWeight: 1.0, WorkLost: prog * ideal, LatencySeconds: 0,
+						},
+					}
+					if best := autonomic.PlanBest(severity, cands); best != nil {
+						out = append(out, best.Action)
+					}
+				}
+				return out
+			},
+			Execute: func(actions []autonomic.PlannedAction) {
+				for _, a := range actions {
+					switch a.Kind {
+					case autonomic.ActionThrottle:
+						_ = m.Engine().SetThrottle(a.Query, a.Amount)
+					case autonomic.ActionSuspend:
+						_ = m.Engine().Suspend(a.Query, engine.SuspendDumpState)
+					case autonomic.ActionKill:
+						_ = m.Engine().Kill(a.Query)
+					case autonomic.ActionReprioritize:
+						_ = m.Engine().SetWeight(a.Query, a.Amount)
+					}
+				}
+			},
+		}
+		loop.Start(s)
+		// Resume suspended analytics when the system is healthy again.
+		s.Every(4*sim.Second, func() bool {
+			if !m.Attainment("oltp").Met {
+				return true
+			}
+			for _, rr := range m.RunningAll() {
+				if rr.Query.State() == engine.StateSuspended {
+					_ = m.Engine().Resume(rr.Query.ID)
+					break // one at a time
+				}
+			}
+			return true
+		})
+	}
+
+	// Phase 1 (0-120s): moderate analytics. Phase 2 (120-240s): monster mix.
+	gens := []workload.Generator{
+		&workload.OLTPGen{WorkloadName: "oltp", Rate: 80,
+			Priority: policy.PriorityHigh,
+			SLO:      policy.AvgResponseTime(300 * sim.Millisecond), Seq: seq},
+		&funcGen{name: "analytics", rate: 0.12, start: func(now sim.Time) *workload.Request {
+			var spec engine.QuerySpec
+			if now < sim.Time(120*sim.Second) {
+				spec = engine.QuerySpec{CPUWork: 5 + rng.Float64()*10,
+					IOWork: 200 + rng.Float64()*200, MemMB: 128, Parallelism: 2, StateMB: 32}
+			} else {
+				spec = engine.QuerySpec{CPUWork: 100 + rng.Float64()*60,
+					IOWork: 1800 + rng.Float64()*800, MemMB: 1600, Parallelism: 4, StateMB: 250}
+			}
+			return &workload.Request{ID: seq.Next(), Workload: "analytics",
+				Priority: policy.PriorityLow, SLO: policy.BestEffort(),
+				True: spec, Arrive: now,
+				Est: workload.Estimates{CPUSeconds: spec.CPUWork, IOMB: spec.IOWork,
+					Timerons: workload.TimeronsOf(spec.CPUWork, spec.IOWork)}}
+		}},
+	}
+	m.RunWorkload(gens, 240*sim.Second, 120*sim.Second)
+
+	oltp := m.Stats().Workload("oltp")
+	ana := m.Stats().Workload("analytics")
+	return Row{
+		Name: variant,
+		Metrics: map[string]float64{
+			"oltp_mean_s": oltp.Response.Mean(),
+			"oltp_p95_s":  oltp.Response.Percentile(95),
+			"oltp_met":    boolMetric(m.Attainment("oltp").Met),
+			"ana_done":    float64(ana.Completed.Value()),
+			"ana_killed":  float64(ana.Killed.Value()),
+			"ana_susp":    float64(ana.Suspends.Value()),
+		},
+		Order: []string{"oltp_mean_s", "oltp_p95_s", "oltp_met", "ana_done", "ana_killed", "ana_susp"},
+	}
+}
+
+// RunAutonomic runs the MAPE-vs-static comparison.
+func RunAutonomic(seed uint64) ResultTable {
+	t := ResultTable{Title: "E6: autonomic MAPE loop vs static thresholds under a workload shift"}
+	for _, v := range []string{"no-control", "static-threshold", "autonomic-mape"} {
+		t.Rows = append(t.Rows, RunAutonomicMAPE(v, seed))
+	}
+	return t
+}

@@ -1,0 +1,247 @@
+package experiments
+
+import (
+	"testing"
+
+	"dbwlm/internal/engine"
+	"dbwlm/internal/execctl"
+	"dbwlm/internal/sim"
+)
+
+// The experiment harnesses are exercised end to end here, asserting the
+// qualitative shapes the paper's catalog implies. Full-size runs live in
+// bench_test.go and cmd/benchtables; these tests use the default scenarios
+// but are skipped in -short mode.
+
+func TestResultTableRenderAndFind(t *testing.T) {
+	tb := ResultTable{Title: "x", Rows: []Row{
+		{Name: "a", Metrics: map[string]float64{"m": 1}, Order: []string{"m"}},
+		{Name: "b", Metrics: map[string]float64{"m": 2}, Order: []string{"m"}},
+	}}
+	if tb.Render() == "" {
+		t.Fatal("empty render")
+	}
+	if tb.Find("b") == nil || tb.Find("b").Metric("m") != 2 {
+		t.Fatal("find failed")
+	}
+	if tb.Find("zzz") != nil {
+		t.Fatal("ghost row found")
+	}
+	if (ResultTable{Title: "empty"}).Render() == "" {
+		t.Fatal("empty table render")
+	}
+}
+
+func TestMPLKneeShapeExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb := RunMPLKnee([]int{2, 8, 64}, 7)
+	low := tb.Rows[0].Metric("thr")
+	knee := tb.Rows[1].Metric("thr")
+	high := tb.Rows[2].Metric("thr")
+	if !(knee > low) {
+		t.Fatalf("throughput should rise to the knee: %v -> %v", low, knee)
+	}
+	if !(high < knee*0.7) {
+		t.Fatalf("throughput should collapse past the knee: %v -> %v", knee, high)
+	}
+}
+
+func TestTable1AllControlPointsAct(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb := RunTable1(42)
+	for _, row := range tb.Rows {
+		if row.Metric("actions") <= 0 {
+			t.Fatalf("control point %q took no actions", row.Name)
+		}
+	}
+}
+
+func TestTable2TxnControllersBeatBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	sc := Table2Scenario{Seed: 42}
+	base := RunTable2TxnVariant(T2None, sc)
+	r := RunTable2TxnVariant(T2MPL, sc)
+	if r.Metric("oltp_thr") <= base.Metric("oltp_thr")*1.5 {
+		t.Fatalf("MPL throughput %v should far exceed collapsed baseline %v",
+			r.Metric("oltp_thr"), base.Metric("oltp_thr"))
+	}
+}
+
+func TestTable2MonsterControllersProtectOLTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	sc := Table2Scenario{Seed: 42}
+	base := RunTable2MonsterVariant(T2None, sc)
+	for _, v := range []Table2Variant{T2QueryCost, T2Indicators, T2PredictTree, T2PredictKNN} {
+		r := RunTable2MonsterVariant(v, sc)
+		if r.Metric("oltp_p95_s") >= base.Metric("oltp_p95_s")*0.5 {
+			t.Fatalf("%s p95 %v should be far below baseline %v",
+				v, r.Metric("oltp_p95_s"), base.Metric("oltp_p95_s"))
+		}
+	}
+}
+
+func TestTable3ControlsImproveOLTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	sc := Table3Scenario{Seed: 11}
+	base := RunTable3Variant(T3None, sc)
+	kill := RunTable3Variant(T3Kill, sc)
+	susp := RunTable3Variant(T3SuspendResume, sc)
+	// Throughput (completions) is the robust cross-variant comparison: the
+	// collapsed baseline's mean response time is survivor-biased low
+	// because its stuck transactions never complete and are never counted.
+	// (The remaining variants — aging, reallocation, throttling — are
+	// exercised by the benchmarks; their runs stay semi-collapsed by design
+	// and are too slow for the unit suite.)
+	for _, r := range []Row{kill, susp} {
+		if r.Metric("oltp_thr") <= base.Metric("oltp_thr") {
+			t.Fatalf("%s oltp throughput %v did not improve on baseline %v",
+				r.Name, r.Metric("oltp_thr"), base.Metric("oltp_thr"))
+		}
+	}
+	// Kill destroys the monsters; suspension parks them without destroying
+	// their work (they may still be parked at measurement end).
+	if kill.Metric("monster_kill") == 0 || kill.Metric("monster_done") != 0 {
+		t.Fatalf("kill variant: kills=%v done=%v", kill.Metric("monster_kill"), kill.Metric("monster_done"))
+	}
+	if susp.Metric("monster_susp") == 0 {
+		t.Fatal("suspend-resume never suspended")
+	}
+	if susp.Metric("monster_kill") != 0 {
+		t.Fatal("suspend-resume should not kill")
+	}
+}
+
+func TestSuspendResumeStrategyTradeoffs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	dump := RunSuspendResume(engine.SuspendDumpState, 42)
+	goback := RunSuspendResume(engine.SuspendGoBack, 42)
+	if goback.Metric("suspend_latency_s") >= dump.Metric("suspend_latency_s") {
+		t.Fatalf("GoBack suspend %v should beat DumpState %v",
+			goback.Metric("suspend_latency_s"), dump.Metric("suspend_latency_s"))
+	}
+}
+
+func TestSuspendPlanComparisonOptimality(t *testing.T) {
+	tb := RunSuspendPlanComparison(0.5)
+	opt := tb.Find("optimal-mixed")
+	goback := tb.Find("all-GoBack")
+	dump := tb.Find("all-DumpState")
+	if opt == nil || goback == nil || dump == nil {
+		t.Fatal("missing rows")
+	}
+	if opt.Metric("feasible") != 1 {
+		t.Fatal("optimal plan violates the suspend budget")
+	}
+	if opt.Metric("total_s") > goback.Metric("total_s")+1e-9 {
+		t.Fatal("optimal plan worse than all-GoBack")
+	}
+	if dump.Metric("feasible") == 1 && opt.Metric("total_s") > dump.Metric("total_s")+1e-9 {
+		t.Fatal("optimal plan worse than a feasible all-DumpState")
+	}
+}
+
+func TestThrottleMethodsSameAmountDifferentBurstiness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb := RunAblationThrottleMethods(42)
+	constant := tb.Find(execctl.MethodConstant.String())
+	interrupt := tb.Find(execctl.MethodInterrupt.String())
+	if constant == nil || interrupt == nil {
+		t.Fatal("missing rows")
+	}
+	// Interrupt throttling's long free runs make production latency
+	// burstier at the tail.
+	if interrupt.Metric("oltp_max_s") <= constant.Metric("oltp_max_s") {
+		t.Logf("note: interrupt max %v vs constant max %v (usually burstier)",
+			interrupt.Metric("oltp_max_s"), constant.Metric("oltp_max_s"))
+	}
+}
+
+func TestSchedulerAblationShapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb := RunAblationSchedulers(42)
+	fcfs := tb.Find("fcfs")
+	sjf := tb.Find("sjf")
+	pri := tb.Find("priority")
+	rank := tb.Find("rank")
+	if fcfs == nil || sjf == nil || pri == nil || rank == nil {
+		t.Fatal("missing rows")
+	}
+	// All disciplines complete the batch.
+	for _, r := range tb.Rows {
+		if r.Metric("done") != 40 {
+			t.Fatalf("%s completed %v of 40", r.Name, r.Metric("done"))
+		}
+	}
+	// SJF minimizes mean wait.
+	if sjf.Metric("mean_wait_s") >= fcfs.Metric("mean_wait_s") {
+		t.Fatalf("SJF mean wait %v should beat FCFS %v",
+			sjf.Metric("mean_wait_s"), fcfs.Metric("mean_wait_s"))
+	}
+	// Priority and rank give high-priority items shorter waits than FCFS.
+	if pri.Metric("high_pri_wait_s") >= fcfs.Metric("high_pri_wait_s") {
+		t.Fatalf("priority queue high-pri wait %v should beat FCFS %v",
+			pri.Metric("high_pri_wait_s"), fcfs.Metric("high_pri_wait_s"))
+	}
+}
+
+func TestRestructuringHelpsShortQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb := RunAblationRestructuring(42)
+	whole := tb.Find("whole")
+	sliced := tb.Find("sliced")
+	// Slicing the memory-heavy monster must improve short-query latency.
+	if sliced.Metric("short_p95_s") >= whole.Metric("short_p95_s") {
+		t.Fatalf("sliced p95 %v should beat whole-plan p95 %v",
+			sliced.Metric("short_p95_s"), whole.Metric("short_p95_s"))
+	}
+}
+
+func TestUniformRouterFlattens(t *testing.T) {
+	r := UniformRouter()
+	if r.Default().EffectiveWeight() != 1 {
+		t.Fatal("uniform router default weight != 1")
+	}
+}
+
+func TestServerConfig(t *testing.T) {
+	cfg := ServerConfig()
+	if cfg.Cores != 8 || cfg.MemoryMB != 4096 || cfg.IOMBps != 800 {
+		t.Fatalf("standard server changed: %+v", cfg)
+	}
+	s, m := NewManager(1)
+	if s == nil || m == nil {
+		t.Fatal("NewManager failed")
+	}
+	_ = sim.Second
+}
+
+func TestBatchOrderingReducesMakespan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation experiment")
+	}
+	tb := RunAblationBatchOrdering(42)
+	naive := tb.Find("naive-order")
+	planned := tb.Find("interaction-aware")
+	if planned.Metric("makespan_s") >= naive.Metric("makespan_s") {
+		t.Fatalf("planned order %vs not faster than naive %vs",
+			planned.Metric("makespan_s"), naive.Metric("makespan_s"))
+	}
+}

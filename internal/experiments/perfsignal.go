@@ -1,0 +1,61 @@
+package experiments
+
+// perfSignal converts a production workload's recent response times into the
+// performance ratio the throttling controllers consume (Parekh et al.
+// compare "current performance with the baseline performance acquired by the
+// production applications"): baseline mean RT ÷ recent mean RT, so 1 means
+// unimpaired and 0.5 means responses have doubled.
+type perfSignal struct {
+	// baselineN observations establish the baseline (default 200).
+	baselineN int
+	// windowN recent observations form the current estimate (default 100).
+	windowN int
+
+	baselineSum float64
+	baselineCnt int
+	window      []float64
+	windowSum   float64
+}
+
+func newPerfSignal(baselineN, windowN int) *perfSignal {
+	if baselineN <= 0 {
+		baselineN = 200
+	}
+	if windowN <= 0 {
+		windowN = 100
+	}
+	return &perfSignal{baselineN: baselineN, windowN: windowN}
+}
+
+// observe records one production response time in seconds.
+func (p *perfSignal) observe(rt float64) {
+	if p.baselineCnt < p.baselineN {
+		p.baselineSum += rt
+		p.baselineCnt++
+		return
+	}
+	if len(p.window) >= p.windowN {
+		p.windowSum -= p.window[0]
+		p.window = p.window[1:]
+	}
+	p.window = append(p.window, rt)
+	p.windowSum += rt
+}
+
+// ratio reports baseline/current mean RT, clamped to [0, 2]; 1 while the
+// baseline or window is still filling.
+func (p *perfSignal) ratio() float64 {
+	if p.baselineCnt < p.baselineN || len(p.window) < p.windowN/4 {
+		return 1
+	}
+	base := p.baselineSum / float64(p.baselineCnt)
+	cur := p.windowSum / float64(len(p.window))
+	if cur <= 0 {
+		return 1
+	}
+	r := base / cur
+	if r > 2 {
+		r = 2
+	}
+	return r
+}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"dbwlm/internal/engine"
+	"dbwlm/internal/execctl"
+)
+
+// TestT5Pieces times individual Table 5 sub-experiments; enabled only when
+// T5PIECE is set (diagnostic, not part of the suite).
+func TestT5Pieces(t *testing.T) {
+	piece := os.Getenv("T5PIECE")
+	if piece == "" {
+		t.Skip("set T5PIECE")
+	}
+	start := time.Now()
+	switch piece {
+	case "niu":
+		RunNiuScheduler("niu-utility", 42)
+	case "parekh":
+		RunParekhThrottling("pi-throttling", 42)
+	case "parekh-no":
+		RunParekhThrottling("no-throttling", 42)
+	case "powley":
+		RunPowleyThrottling("step", execctl.MethodConstant, 42)
+	case "powley-int":
+		RunPowleyThrottling("black-box", execctl.MethodInterrupt, 42)
+	case "susp":
+		RunSuspendResume(engine.SuspendDumpState, 42)
+		RunSuspendResume(engine.SuspendGoBack, 42)
+	}
+	t.Logf("%s: %v", piece, time.Since(start))
+}

@@ -1,0 +1,134 @@
+package governor
+
+import (
+	"testing"
+
+	"dbwlm"
+	"dbwlm/internal/characterize"
+	"dbwlm/internal/engine"
+	"dbwlm/internal/sim"
+	"dbwlm/internal/taxonomy"
+	"dbwlm/internal/workload"
+)
+
+// runProfile drives the consolidated scenario under a profile and returns
+// the manager for inspection.
+func runProfile(t *testing.T, p *Profile, seed uint64) *dbwlm.Manager {
+	t.Helper()
+	s := sim.New(seed)
+	m := dbwlm.New(s, engine.Config{Cores: 8, MemoryMB: 4096, IOMBps: 800})
+	p.Attach(m)
+	gens := workload.Consolidated(s.RNG().Fork(1), workload.ScenarioConfig{
+		OLTPRate: 40, BIRate: 0.05, AdHocRate: 0.12, MonsterProb: 0.4,
+	})
+	m.RunWorkload(gens, 120*sim.Second, 60*sim.Second)
+	return m
+}
+
+func TestProfilesListAndClasses(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 3 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	// Each profile's class list must match Table 4's assignment: all have
+	// static characterization and threshold admission; DB2 adds
+	// reprioritization + cancellation; SQL Server adds reprioritization;
+	// Teradata adds cancellation.
+	has := func(p *Profile, class string) bool {
+		for _, c := range p.Classes {
+			if c == class {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range ps {
+		if !has(p, taxonomy.ClassCharacterizationStatic) || !has(p, taxonomy.ClassAdmissionThreshold) {
+			t.Fatalf("%s missing universal Table 4 classes", p.Name)
+		}
+	}
+	if !has(ps[0], taxonomy.ClassExecutionReprioritize) || !has(ps[0], taxonomy.ClassExecutionCancel) {
+		t.Fatal("DB2 profile classes wrong")
+	}
+	if !has(ps[1], taxonomy.ClassExecutionReprioritize) || has(ps[1], taxonomy.ClassExecutionCancel) {
+		t.Fatal("SQL Server profile classes wrong")
+	}
+	if !has(ps[2], taxonomy.ClassExecutionCancel) || has(ps[2], taxonomy.ClassExecutionReprioritize) {
+		t.Fatal("Teradata profile classes wrong")
+	}
+}
+
+func TestDB2ProfileRoutesAndProtectsOLTP(t *testing.T) {
+	m := runProfile(t, DB2Profile(), 1)
+	oltp := m.Stats().Workload("oltp")
+	if oltp.Completed.Value() < 3000 {
+		t.Fatalf("oltp completed = %d", oltp.Completed.Value())
+	}
+	if !m.Attainment("oltp").Met {
+		t.Fatalf("DB2 profile failed OLTP SLA: %v", m.Report())
+	}
+	// Analytic work was classified and ran.
+	if m.Stats().Workload("analytic").Completed.Value() == 0 {
+		t.Fatal("no analytic work classified")
+	}
+}
+
+func TestSQLServerProfileEnforcesPools(t *testing.T) {
+	m := runProfile(t, SQLServerProfile(), 2)
+	if !m.Attainment("oltp").Met {
+		t.Fatalf("SQL Server profile failed OLTP SLA:\n%v", m.Report())
+	}
+	if m.Stats().Workload("bi").Completed.Value() == 0 {
+		t.Fatal("bi pool did no work")
+	}
+}
+
+func TestTeradataProfileFiltersAndThrottles(t *testing.T) {
+	m := runProfile(t, TeradataProfile(), 3)
+	if !m.Attainment("oltp").Met {
+		t.Fatalf("Teradata profile failed OLTP SLA:\n%v", m.Report())
+	}
+	// Filters must have rejected some oversized ad-hoc work.
+	rejected := m.Stats().Workload("WD-Default").Rejected.Value() +
+		m.Stats().Workload("adhoc").Rejected.Value() +
+		m.Stats().Workload("bi").Rejected.Value()
+	if rejected == 0 {
+		t.Log(m.Report())
+		t.Fatal("Teradata filters rejected nothing")
+	}
+}
+
+func TestProfilesBeatNoWLMOnOLTP(t *testing.T) {
+	// The Table 4 headline: every commercial profile keeps the OLTP SLA
+	// under consolidation pressure; the unmanaged server does not.
+	baseline := func(seed uint64) *dbwlm.Manager {
+		s := sim.New(seed)
+		m := dbwlm.New(s, engine.Config{Cores: 8, MemoryMB: 4096, IOMBps: 800})
+		// No WLM: every request runs immediately at uniform weight.
+		m.Router = characterize.NewRouter(&characterize.ServiceClass{Name: "flat", Weight: 1})
+		gens := workload.Consolidated(s.RNG().Fork(1), workload.ScenarioConfig{
+			OLTPRate: 40, BIRate: 0.05, AdHocRate: 0.12, MonsterProb: 0.4,
+		})
+		m.RunWorkload(gens, 120*sim.Second, 60*sim.Second)
+		return m
+	}
+	base := baseline(1)
+	baseRT := base.Stats().Workload("oltp").Response.Mean()
+	for _, p := range Profiles() {
+		m := runProfile(t, p, 1)
+		rt := m.Stats().Workload("oltp").Response.Mean()
+		if rt >= baseRT {
+			t.Fatalf("%s did not improve OLTP mean RT: %v vs baseline %v", p.Name, rt, baseRT)
+		}
+	}
+}
+
+func TestOracleProfileProtectsInteractive(t *testing.T) {
+	m := runProfile(t, OracleProfile(), 4)
+	if !m.Attainment("oltp").Met {
+		t.Fatalf("Oracle profile failed OLTP SLA:\n%v", m.Report())
+	}
+	if m.Stats().Workload("reporting").Completed.Value() == 0 {
+		t.Fatal("reporting group did no work")
+	}
+}

@@ -1,0 +1,99 @@
+package learn
+
+import (
+	"testing"
+
+	"dbwlm/internal/sim"
+)
+
+func TestKMeansSeparatesBlobs(t *testing.T) {
+	rng := sim.NewRNG(1)
+	var points [][]float64
+	// Three well-separated blobs.
+	centres := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	for i := 0; i < 150; i++ {
+		c := centres[i%3]
+		points = append(points, []float64{
+			c[0] + rng.NormFloat64()*0.3,
+			c[1] + rng.NormFloat64()*0.3,
+		})
+	}
+	res := KMeans(points, 3, 50, rng.Fork(2))
+	if len(res.Assignments) != 150 || len(res.Centroids) != 3 {
+		t.Fatalf("result shape: %d assignments, %d centroids", len(res.Assignments), len(res.Centroids))
+	}
+	// Points from the same blob share a cluster; different blobs differ.
+	for i := 3; i < 150; i++ {
+		if res.Assignments[i] != res.Assignments[i%3] {
+			t.Fatalf("blob member %d assigned %d, blob root assigned %d",
+				i, res.Assignments[i], res.Assignments[i%3])
+		}
+	}
+	if res.Assignments[0] == res.Assignments[1] || res.Assignments[1] == res.Assignments[2] {
+		t.Fatal("distinct blobs merged")
+	}
+	// Tight blobs: inertia far below the single-cluster inertia.
+	one := KMeans(points, 1, 50, rng.Fork(3))
+	if res.Inertia > one.Inertia/10 {
+		t.Fatalf("inertia %v not much below k=1 inertia %v", res.Inertia, one.Inertia)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	rng1 := sim.NewRNG(7)
+	rng2 := sim.NewRNG(7)
+	points := [][]float64{{1}, {2}, {10}, {11}, {20}, {21}}
+	a := KMeans(points, 3, 20, rng1)
+	b := KMeans(points, 3, 20, rng2)
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestKMeansEdgeCases(t *testing.T) {
+	rng := sim.NewRNG(9)
+	if res := KMeans(nil, 3, 10, rng); len(res.Assignments) != 0 {
+		t.Fatal("empty input")
+	}
+	if res := KMeans([][]float64{{1}, {2}}, 0, 10, rng); len(res.Assignments) != 0 {
+		t.Fatal("k=0")
+	}
+	// k > n clamps.
+	res := KMeans([][]float64{{1}, {2}}, 5, 10, rng)
+	if len(res.Centroids) != 2 {
+		t.Fatalf("k clamp: %d centroids", len(res.Centroids))
+	}
+	// Identical points do not loop forever.
+	res = KMeans([][]float64{{3}, {3}, {3}}, 2, 10, rng)
+	if len(res.Assignments) != 3 {
+		t.Fatal("identical points")
+	}
+	if res.Inertia != 0 {
+		t.Fatalf("identical points inertia = %v", res.Inertia)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	points := [][]float64{{0, 100}, {10, 200}, {5, 150}}
+	norm := Normalize(points)
+	if norm[0][0] != 0 || norm[1][0] != 1 || norm[2][0] != 0.5 {
+		t.Fatalf("dim 0 normalized wrong: %v", norm)
+	}
+	if norm[0][1] != 0 || norm[1][1] != 1 {
+		t.Fatalf("dim 1 normalized wrong: %v", norm)
+	}
+	// Original untouched.
+	if points[0][0] != 0 || points[1][1] != 200 {
+		t.Fatal("originals mutated")
+	}
+	// Constant dimension maps to 0.
+	norm = Normalize([][]float64{{5, 1}, {5, 2}})
+	if norm[0][0] != 0 || norm[1][0] != 0 {
+		t.Fatal("constant dim should be 0")
+	}
+	if Normalize(nil) != nil {
+		t.Fatal("nil input")
+	}
+}

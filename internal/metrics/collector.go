@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"fmt"
+
+	"dbwlm/internal/sim"
+)
+
+// StatisticsSnapshot is one interval record of the statistics event monitor
+// (DB2 WLM's statistics event monitor, Section 4.1.1.C): aggregated counts
+// and interval response-time statistics per workload.
+type StatisticsSnapshot struct {
+	At        sim.Time
+	Workload  string
+	Completed int64 // completions during the interval
+	Rejected  int64
+	Killed    int64
+	// MeanResponse and P95Response summarize the interval's completions
+	// (cumulative histograms snapshotted; intervals are deltas of counts,
+	// response stats are cumulative-to-date).
+	MeanResponse float64
+	P95Response  float64
+	Throughput   float64 // completions/second over the interval
+}
+
+// String renders the snapshot.
+func (s StatisticsSnapshot) String() string {
+	return fmt.Sprintf("[%v] %s: done=%d rej=%d killed=%d thr=%.2f/s meanRT=%.4fs",
+		s.At, s.Workload, s.Completed, s.Rejected, s.Killed, s.Throughput, s.MeanResponse)
+}
+
+// StatisticsCollector periodically snapshots every workload in a registry,
+// emitting statistics events and retaining the interval series for trend
+// analysis (Teradata manager's "workload trend analysis", Section 4.1.3.C).
+type StatisticsCollector struct {
+	registry *Registry
+	interval sim.Duration
+	series   map[string][]StatisticsSnapshot
+	// last counts per workload, to compute interval deltas.
+	lastCompleted map[string]int64
+	lastRejected  map[string]int64
+	lastKilled    map[string]int64
+	// MaxPerWorkload bounds each series (default 1024).
+	MaxPerWorkload int
+	stop           func()
+}
+
+// NewStatisticsCollector starts collecting every interval on the simulator.
+func NewStatisticsCollector(s *sim.Simulator, reg *Registry, interval sim.Duration) *StatisticsCollector {
+	if interval <= 0 {
+		interval = 10 * sim.Second
+	}
+	c := &StatisticsCollector{
+		registry:      reg,
+		interval:      interval,
+		series:        make(map[string][]StatisticsSnapshot),
+		lastCompleted: make(map[string]int64),
+		lastRejected:  make(map[string]int64),
+		lastKilled:    make(map[string]int64),
+	}
+	c.stop = s.Every(interval, func() bool {
+		c.collect(s.Now())
+		return true
+	})
+	return c
+}
+
+// Stop halts collection.
+func (c *StatisticsCollector) Stop() {
+	if c.stop != nil {
+		c.stop()
+	}
+}
+
+func (c *StatisticsCollector) collect(now sim.Time) {
+	maxN := c.MaxPerWorkload
+	if maxN <= 0 {
+		maxN = 1024
+	}
+	for _, name := range c.registry.Names() {
+		ws := c.registry.Workload(name)
+		done := ws.Completed.Value()
+		rej := ws.Rejected.Value()
+		killed := ws.Killed.Value()
+		snap := StatisticsSnapshot{
+			At:           now,
+			Workload:     name,
+			Completed:    done - c.lastCompleted[name],
+			Rejected:     rej - c.lastRejected[name],
+			Killed:       killed - c.lastKilled[name],
+			MeanResponse: ws.Response.Mean(),
+			P95Response:  ws.Response.Percentile(95),
+			Throughput:   float64(done-c.lastCompleted[name]) / c.interval.Seconds(),
+		}
+		c.lastCompleted[name] = done
+		c.lastRejected[name] = rej
+		c.lastKilled[name] = killed
+		series := c.series[name]
+		if len(series) >= maxN {
+			series = series[1:]
+		}
+		c.series[name] = append(series, snap)
+		c.registry.Events.Record(Event{
+			Kind: EventStatistics, At: now, Workload: name,
+			What: "interval-statistics", Value: snap.Throughput,
+		})
+	}
+}
+
+// Series returns the retained interval snapshots for a workload.
+func (c *StatisticsCollector) Series(workload string) []StatisticsSnapshot {
+	return c.series[workload]
+}
+
+// Trend reports the relative change in interval throughput between the
+// first and second halves of the retained series — positive means the
+// workload is speeding up. Returns 0 with fewer than 4 snapshots.
+func (c *StatisticsCollector) Trend(workload string) float64 {
+	s := c.series[workload]
+	if len(s) < 4 {
+		return 0
+	}
+	half := len(s) / 2
+	var a, b float64
+	for _, snap := range s[:half] {
+		a += snap.Throughput
+	}
+	for _, snap := range s[half:] {
+		b += snap.Throughput
+	}
+	a /= float64(half)
+	b /= float64(len(s) - half)
+	if a == 0 {
+		if b == 0 {
+			return 0
+		}
+		return 1
+	}
+	return (b - a) / a
+}

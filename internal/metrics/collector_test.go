@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"testing"
+
+	"dbwlm/internal/sim"
+)
+
+func TestStatisticsCollectorIntervals(t *testing.T) {
+	s := sim.New(1)
+	reg := NewRegistry()
+	ws := reg.Workload("oltp")
+	c := NewStatisticsCollector(s, reg, 5*sim.Second)
+
+	// 2 completions/s for 20 seconds.
+	s.Every(500*sim.Millisecond, func() bool {
+		ws.ObserveCompletion(s.Now(), 100*sim.Millisecond, 0, 1)
+		return s.Now() < sim.Time(20*sim.Second)
+	})
+	s.Run(sim.Time(21 * sim.Second))
+
+	series := c.Series("oltp")
+	if len(series) < 3 {
+		t.Fatalf("snapshots = %d", len(series))
+	}
+	// Full intervals record ~10 completions each.
+	mid := series[1]
+	if mid.Completed < 8 || mid.Completed > 12 {
+		t.Fatalf("interval completions = %d, want ~10", mid.Completed)
+	}
+	if mid.Throughput < 1.5 || mid.Throughput > 2.5 {
+		t.Fatalf("interval throughput = %v, want ~2", mid.Throughput)
+	}
+	if mid.MeanResponse <= 0 {
+		t.Fatal("no response stats")
+	}
+	// Statistics events recorded.
+	if reg.Events.CountKind(EventStatistics) == 0 {
+		t.Fatal("no statistics events")
+	}
+	if mid.String() == "" {
+		t.Fatal("empty snapshot string")
+	}
+	c.Stop()
+}
+
+func TestStatisticsCollectorTrend(t *testing.T) {
+	s := sim.New(1)
+	reg := NewRegistry()
+	ws := reg.Workload("w")
+	c := NewStatisticsCollector(s, reg, sim.Second)
+	// Accelerating workload: rate doubles halfway.
+	s.Every(250*sim.Millisecond, func() bool {
+		ws.ObserveCompletion(s.Now(), sim.Millisecond, 0, 1)
+		return s.Now() < sim.Time(10*sim.Second)
+	})
+	s.Every(125*sim.Millisecond, func() bool {
+		if s.Now() > sim.Time(10*sim.Second) {
+			ws.ObserveCompletion(s.Now(), sim.Millisecond, 0, 1)
+		}
+		return s.Now() < sim.Time(20*sim.Second)
+	})
+	s.Run(sim.Time(20 * sim.Second))
+	if trend := c.Trend("w"); trend <= 0.2 {
+		t.Fatalf("trend = %v, want clearly positive", trend)
+	}
+	if c.Trend("ghost") != 0 {
+		t.Fatal("unknown workload trend should be 0")
+	}
+}
+
+func TestStatisticsCollectorBounded(t *testing.T) {
+	s := sim.New(1)
+	reg := NewRegistry()
+	reg.Workload("w")
+	c := NewStatisticsCollector(s, reg, sim.Second)
+	c.MaxPerWorkload = 5
+	s.Run(sim.Time(30 * sim.Second))
+	if len(c.Series("w")) > 5 {
+		t.Fatalf("series grew to %d despite cap", len(c.Series("w")))
+	}
+}

@@ -1,0 +1,125 @@
+package progress
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dbwlm/internal/sqlmini"
+)
+
+func testPlan(t *testing.T) *sqlmini.Plan {
+	t.Helper()
+	cm := sqlmini.NewCostModel(sqlmini.DefaultCatalog())
+	p, err := cm.PlanSQL(`SELECT store_id, SUM(amount) FROM sales_fact
+		JOIN store_dim ON sales_fact.store_id = store_dim.id
+		GROUP BY store_id ORDER BY store_id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestPlanProgressBoundaries(t *testing.T) {
+	pp := NewPlanProgress(testPlan(t))
+	n := len(pp.Operators())
+	fr := pp.OperatorFractions(0)
+	for _, f := range fr {
+		if f != 0 {
+			t.Fatalf("fractions at 0 progress: %v", fr)
+		}
+	}
+	fr = pp.OperatorFractions(1)
+	for _, f := range fr {
+		if f != 1 {
+			t.Fatalf("fractions at full progress: %v", fr)
+		}
+	}
+	if pp.CurrentOperator(0) != 0 {
+		t.Fatal("current at 0 should be the first operator")
+	}
+	if pp.CurrentOperator(1) != n-1 {
+		t.Fatal("current at 1 should be the last operator")
+	}
+	if pp.RemainingCPUSeconds(1) != 0 {
+		t.Fatal("no remaining work at completion")
+	}
+}
+
+func TestPlanProgressMonotonicProperty(t *testing.T) {
+	cm := sqlmini.NewCostModel(sqlmini.DefaultCatalog())
+	plan, _ := cm.PlanSQL("SELECT COUNT(*) FROM orders WHERE total > 5 ORDER BY id")
+	pp := NewPlanProgress(plan)
+	f := func(aRaw, bRaw uint16) bool {
+		a := float64(aRaw) / 65535
+		b := float64(bRaw) / 65535
+		if a > b {
+			a, b = b, a
+		}
+		fa := pp.OperatorFractions(a)
+		fb := pp.OperatorFractions(b)
+		for i := range fa {
+			if fb[i] < fa[i]-1e-12 {
+				return false // operator progress went backwards
+			}
+			if fa[i] < 0 || fa[i] > 1 {
+				return false
+			}
+		}
+		// Remaining work is nonincreasing.
+		return pp.RemainingCPUSeconds(b) <= pp.RemainingCPUSeconds(a)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlanProgressEarlyOperatorsFinishFirst(t *testing.T) {
+	pp := NewPlanProgress(testPlan(t))
+	fr := pp.OperatorFractions(0.5)
+	// Post-order: a later operator can never be further along than an
+	// earlier one.
+	for i := 1; i < len(fr); i++ {
+		if fr[i] > fr[i-1]+1e-12 {
+			t.Fatalf("operator %d ahead of %d: %v", i, i-1, fr)
+		}
+	}
+}
+
+func TestPlanProgressRemainingWall(t *testing.T) {
+	pp := NewPlanProgress(testPlan(t))
+	if got := pp.RemainingWallSeconds(0.75, 0.05); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("remaining wall = %v, want 5", got)
+	}
+	if pp.RemainingWallSeconds(0.5, 0) != -1 {
+		t.Fatal("unknown speed should report -1")
+	}
+	if pp.RemainingWallSeconds(1, 0.1) != 0 {
+		t.Fatal("done should report 0")
+	}
+}
+
+func TestPlanProgressDescribe(t *testing.T) {
+	pp := NewPlanProgress(testPlan(t))
+	out := pp.Describe(0.4)
+	if !strings.Contains(out, "->") {
+		t.Fatalf("no current-operator marker:\n%s", out)
+	}
+	if !strings.Contains(out, "Scan(sales_fact)") {
+		t.Fatalf("missing operator label:\n%s", out)
+	}
+	if !strings.Contains(out, "100%") {
+		t.Fatalf("no completed operator at 40%%:\n%s", out)
+	}
+}
+
+func TestPlanProgressEmptyPlan(t *testing.T) {
+	pp := NewPlanProgress(&sqlmini.Plan{})
+	if pp.CurrentOperator(0.5) != 0 {
+		t.Fatal("empty plan current operator")
+	}
+	if len(pp.OperatorFractions(0.5)) != 0 {
+		t.Fatal("empty plan fractions")
+	}
+}

@@ -1,0 +1,104 @@
+package progress
+
+import (
+	"math"
+	"testing"
+
+	"dbwlm/internal/engine"
+	"dbwlm/internal/sim"
+)
+
+func TestEstimatorSteadyRate(t *testing.T) {
+	e := NewEstimator(3)
+	// 10% progress per second.
+	for i := 0; i <= 5; i++ {
+		e.Observe(sim.Time(i)*sim.Time(sim.Second), float64(i)*0.1)
+	}
+	est := e.Estimate()
+	if !est.Confident {
+		t.Fatal("estimator not confident after 5 observations")
+	}
+	if math.Abs(est.Done-0.5) > 1e-9 {
+		t.Fatalf("done = %v", est.Done)
+	}
+	if math.Abs(est.RemainingSeconds-5) > 0.5 {
+		t.Fatalf("remaining = %v, want ~5s", est.RemainingSeconds)
+	}
+}
+
+func TestEstimatorNotConfidentEarly(t *testing.T) {
+	e := NewEstimator(3)
+	e.Observe(0, 0)
+	e.Observe(sim.Time(sim.Second), 0.1)
+	if e.Estimate().Confident {
+		t.Fatal("confident after one rate observation")
+	}
+}
+
+func TestEstimatorStalledQuery(t *testing.T) {
+	e := NewEstimator(1)
+	e.Observe(0, 0.2)
+	for i := 1; i <= 20; i++ {
+		e.Observe(sim.Time(i)*sim.Time(sim.Second), 0.2) // no progress
+	}
+	est := e.Estimate()
+	if !math.IsInf(est.RemainingSeconds, 1) {
+		t.Fatalf("stalled query remaining = %v, want +Inf", est.RemainingSeconds)
+	}
+}
+
+func TestEstimatorGoBackReset(t *testing.T) {
+	e := NewEstimator(2)
+	e.Observe(0, 0)
+	e.Observe(sim.Time(sim.Second), 0.4)
+	e.Observe(sim.Time(2*sim.Second), 0.8)
+	if !e.Estimate().Confident {
+		t.Fatal("should be confident")
+	}
+	// Progress moves backwards (GoBack resume) — model must reset.
+	e.Observe(sim.Time(3*sim.Second), 0.5)
+	if e.Estimate().Confident {
+		t.Fatal("confidence survived a progress regression")
+	}
+}
+
+func TestEstimatorIgnoresNonMonotonicTime(t *testing.T) {
+	e := NewEstimator(1)
+	e.Observe(sim.Time(sim.Second), 0.1)
+	e.Observe(sim.Time(sim.Second), 0.2) // same instant: ignored
+	est := e.Estimate()
+	if est.Confident {
+		t.Fatal("same-time observation should not count")
+	}
+}
+
+func TestTrackerAgainstEngine(t *testing.T) {
+	s := sim.New(1)
+	e := engine.New(s, engine.Config{Cores: 1, IOMBps: 1e9})
+	q := e.Submit(engine.QuerySpec{CPUWork: 10, Parallelism: 1}, 1, nil)
+	tr := NewTracker(e, 100*sim.Millisecond)
+	s.Run(sim.Time(3 * sim.Second))
+	est, ok := tr.Estimate(q.ID)
+	if !ok || !est.Confident {
+		t.Fatalf("no confident estimate: %v %v", est, ok)
+	}
+	// At t=3s, 30% done at 0.1/s: ~7s remaining.
+	if math.Abs(est.RemainingSeconds-7) > 1 {
+		t.Fatalf("remaining = %v, want ~7", est.RemainingSeconds)
+	}
+	// After completion the tracker forgets the query.
+	s.Run(sim.Time(12 * sim.Second))
+	if _, ok := tr.Estimate(q.ID); ok {
+		t.Fatal("completed query still tracked")
+	}
+	tr.Stop()
+}
+
+func TestOptimizerEstimate(t *testing.T) {
+	if OptimizerEstimate(10, 4*sim.Second) != 6 {
+		t.Fatal("remaining wrong")
+	}
+	if OptimizerEstimate(10, 20*sim.Second) != 0 {
+		t.Fatal("negative remaining not clamped")
+	}
+}

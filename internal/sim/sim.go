@@ -1,0 +1,236 @@
+// Package sim provides a deterministic discrete-event simulator used as the
+// time base for the simulated DBMS engine and for every workload-management
+// experiment in this repository.
+//
+// All time in the simulator is virtual: a 64-bit count of microseconds since
+// the start of the run. Events are ordered by (time, insertion sequence), so
+// two events scheduled for the same instant fire in the order they were
+// scheduled, which keeps every run bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a point in virtual time, in microseconds since the simulation epoch.
+type Time int64
+
+// Duration is a span of virtual time in microseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Microsecond Duration = 1
+	Millisecond Duration = 1000 * Microsecond
+	Second      Duration = 1000 * Millisecond
+	Minute      Duration = 60 * Second
+	Hour        Duration = 60 * Minute
+)
+
+// Seconds reports the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Millis reports the duration as a floating-point number of milliseconds.
+func (d Duration) Millis() float64 { return float64(d) / float64(Millisecond) }
+
+// DurationFromSeconds converts seconds to a virtual Duration.
+func DurationFromSeconds(s float64) Duration { return Duration(s * float64(Second)) }
+
+// String renders the duration in a human-friendly unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", d.Millis())
+	default:
+		return fmt.Sprintf("%dµs", int64(d))
+	}
+}
+
+// Seconds reports the time as a floating-point number of seconds since the epoch.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Add offsets a time by a duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub reports the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Event is a scheduled callback. It is returned by Schedule and At so the
+// caller can cancel it before it fires (for example, a timeout that is no
+// longer needed).
+type Event struct {
+	at       Time
+	seq      int64
+	fn       func()
+	index    int // heap index; -1 once popped
+	canceled bool
+}
+
+// Time reports when the event is scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Cancel prevents the event from firing. Canceling an event that has already
+// fired is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Simulator is a single-threaded discrete-event simulator. It is not safe for
+// concurrent use; the simulated world is single-threaded by design so that
+// every run is deterministic.
+type Simulator struct {
+	now    Time
+	seq    int64
+	events eventHeap
+	rng    *RNG
+}
+
+// New returns a simulator whose random source is seeded with seed.
+func New(seed uint64) *Simulator {
+	return &Simulator{rng: NewRNG(seed)}
+}
+
+// Now reports the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// RNG returns the simulator's deterministic random source.
+func (s *Simulator) RNG() *RNG { return s.rng }
+
+// Pending reports the number of events waiting to fire (including canceled
+// events that have not yet been discarded).
+func (s *Simulator) Pending() int { return len(s.events) }
+
+// Schedule arranges for fn to run after delay. A negative delay is treated as
+// zero. The returned Event may be used to cancel the callback.
+func (s *Simulator) Schedule(delay Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.At(s.now.Add(delay), fn)
+}
+
+// At arranges for fn to run at absolute virtual time t. If t is in the past
+// the event fires at the current time (but still strictly after the running
+// event completes).
+func (s *Simulator) At(t Time, fn func()) *Event {
+	if t < s.now {
+		t = s.now
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// Every schedules fn to run every interval until fn returns false or the
+// returned Event chain is canceled via the stop function.
+func (s *Simulator) Every(interval Duration, fn func() bool) (stop func()) {
+	stopped := false
+	var tick func()
+	var pending *Event
+	tick = func() {
+		if stopped {
+			return
+		}
+		if !fn() {
+			stopped = true
+			return
+		}
+		pending = s.Schedule(interval, tick)
+	}
+	pending = s.Schedule(interval, tick)
+	return func() {
+		stopped = true
+		if pending != nil {
+			pending.Cancel()
+		}
+	}
+}
+
+// Step fires the next event. It reports false when no events remain.
+func (s *Simulator) Step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the event queue is empty or virtual time would pass
+// until. It returns the number of events fired. Time is left at min(until,
+// time of last event fired).
+func (s *Simulator) Run(until Time) int {
+	fired := 0
+	for len(s.events) > 0 {
+		// Peek.
+		e := s.events[0]
+		if e.canceled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if e.at > until {
+			break
+		}
+		heap.Pop(&s.events)
+		s.now = e.at
+		e.fn()
+		fired++
+	}
+	if s.now < until && fired >= 0 {
+		// Advance the clock to the requested horizon so that successive
+		// Run calls observe monotonic time.
+		s.now = until
+	}
+	return fired
+}
+
+// RunAll fires events until none remain. It panics after maxEvents events as
+// a guard against runaway self-rescheduling loops.
+func (s *Simulator) RunAll(maxEvents int) int {
+	fired := 0
+	for s.Step() {
+		fired++
+		if fired > maxEvents {
+			panic(fmt.Sprintf("sim: RunAll exceeded %d events at t=%v", maxEvents, s.now))
+		}
+	}
+	return fired
+}

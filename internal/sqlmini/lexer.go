@@ -1,0 +1,115 @@
+// Package sqlmini implements a minimal SQL dialect: a lexer, a parser, a
+// catalog with table statistics, and a cost-based plan builder. It is the
+// "query optimizer" substrate of the workload manager: it classifies incoming
+// statements by type (READ / WRITE / DML / DDL / LOAD / CALL, the work-class
+// types DB2 WLM uses, Section 4.1.1 of the paper) and produces the estimated
+// costs and cardinalities that every threshold- and prediction-based control
+// consumes.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// TokenKind labels a lexical token.
+type TokenKind int
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokNumber
+	TokString
+	TokSymbol
+)
+
+// Token is one lexical token with its position for error reporting.
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased
+	Pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "ON": true, "GROUP": true,
+	"BY": true, "ORDER": true, "LIMIT": true, "INSERT": true, "INTO": true,
+	"VALUES": true, "UPDATE": true, "SET": true, "DELETE": true,
+	"CREATE": true, "DROP": true, "TABLE": true, "INDEX": true, "LOAD": true,
+	"CALL": true, "AS": true, "COUNT": true, "SUM": true, "AVG": true,
+	"MIN": true, "MAX": true, "DISTINCT": true, "HAVING": true, "NOT": true,
+	"NULL": true, "BETWEEN": true, "LIKE": true, "IN": true, "ASC": true,
+	"DESC": true, "UNION": true, "ALL": true,
+}
+
+// Lex splits input into tokens. It returns an error for unterminated strings
+// or bytes outside the dialect.
+func Lex(input string) ([]Token, error) {
+	var toks []Token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			// Line comment.
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case unicode.IsLetter(c) || c == '_':
+			start := i
+			for i < n && (isIdentByte(input[i])) {
+				i++
+			}
+			word := input[start:i]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, Token{TokKeyword, upper, start})
+			} else {
+				toks = append(toks, Token{TokIdent, strings.ToLower(word), start})
+			}
+		case unicode.IsDigit(c):
+			start := i
+			for i < n && (unicode.IsDigit(rune(input[i])) || input[i] == '.') {
+				i++
+			}
+			toks = append(toks, Token{TokNumber, input[start:i], start})
+		case c == '\'':
+			start := i
+			i++
+			for i < n && input[i] != '\'' {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sqlmini: unterminated string at offset %d", start)
+			}
+			i++
+			toks = append(toks, Token{TokString, input[start+1 : i-1], start})
+		case strings.ContainsRune("(),*=<>.;+-/%!", c):
+			// Two-character operators.
+			if i+1 < n {
+				two := input[i : i+2]
+				if two == "<=" || two == ">=" || two == "<>" || two == "!=" {
+					toks = append(toks, Token{TokSymbol, two, i})
+					i += 2
+					continue
+				}
+			}
+			toks = append(toks, Token{TokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlmini: unexpected byte %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, Token{TokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentByte(b byte) bool {
+	return b == '_' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
+}

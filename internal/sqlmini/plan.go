@@ -1,0 +1,156 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind labels a plan operator.
+type OpKind int
+
+// Operator kinds.
+const (
+	OpScan OpKind = iota
+	OpIndexLookup
+	OpFilter
+	OpHashJoin
+	OpSort
+	OpAggregate
+	OpProject
+	OpLimit
+	OpInsert
+	OpUpdate
+	OpDelete
+	OpDDL
+	OpLoad
+	OpCall
+)
+
+// String names the operator kind.
+func (k OpKind) String() string {
+	names := []string{"Scan", "IndexLookup", "Filter", "HashJoin", "Sort",
+		"Aggregate", "Project", "Limit", "Insert", "Update", "Delete", "DDL", "Load", "Call"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Operator is one node of a physical plan with its cost estimates. The costs
+// are what the engine consumes as "work" and what the workload manager sees
+// as the optimizer's estimate.
+type Operator struct {
+	Kind     OpKind
+	Table    string // for scans and mutations
+	Detail   string
+	Children []*Operator
+
+	// Estimates produced by the cost model.
+	EstRows float64 // output cardinality
+	EstCPU  float64 // core-seconds for this operator alone
+	EstIO   float64 // megabytes read+written by this operator alone
+	EstMem  float64 // peak working memory (MB) held while this operator runs
+	// StateMB is the size of this operator's checkpointable state (hash
+	// tables, sort runs); it drives the DumpState suspend cost.
+	StateMB float64
+}
+
+// Plan is a physical plan for one statement.
+type Plan struct {
+	Root *Operator
+	Stmt *Statement
+}
+
+// Operators returns every operator in the plan in post-order (children before
+// parents), which is also a valid execution order for the sliced sub-plans of
+// the query-restructuring scheduler.
+func (p *Plan) Operators() []*Operator {
+	var out []*Operator
+	var walk func(op *Operator)
+	walk = func(op *Operator) {
+		for _, c := range op.Children {
+			walk(c)
+		}
+		out = append(out, op)
+	}
+	if p.Root != nil {
+		walk(p.Root)
+	}
+	return out
+}
+
+// TotalCPU sums the estimated CPU seconds over all operators.
+func (p *Plan) TotalCPU() float64 {
+	var s float64
+	for _, op := range p.Operators() {
+		s += op.EstCPU
+	}
+	return s
+}
+
+// TotalIO sums the estimated IO megabytes over all operators.
+func (p *Plan) TotalIO() float64 {
+	var s float64
+	for _, op := range p.Operators() {
+		s += op.EstIO
+	}
+	return s
+}
+
+// PeakMem reports the largest working-memory demand across operators; the
+// engine charges this for the query's whole run (a deliberate simplification:
+// pipelined operators hold their state concurrently).
+func (p *Plan) PeakMem() float64 {
+	var m float64
+	var run float64
+	for _, op := range p.Operators() {
+		run += op.EstMem
+		if op.EstMem > m {
+			m = op.EstMem
+		}
+	}
+	// Pipelines hold multiple operator states at once; charge the sum but
+	// never less than the single largest operator.
+	if run > m {
+		m = run
+	}
+	return m
+}
+
+// TotalState reports the total checkpointable state in MB.
+func (p *Plan) TotalState() float64 {
+	var s float64
+	for _, op := range p.Operators() {
+		s += op.StateMB
+	}
+	return s
+}
+
+// EstRows reports the root operator's output cardinality.
+func (p *Plan) EstRows() float64 {
+	if p.Root == nil {
+		return 0
+	}
+	return p.Root.EstRows
+}
+
+// String renders the plan as an indented tree.
+func (p *Plan) String() string {
+	var b strings.Builder
+	var walk func(op *Operator, depth int)
+	walk = func(op *Operator, depth int) {
+		fmt.Fprintf(&b, "%s%s", strings.Repeat("  ", depth), op.Kind)
+		if op.Table != "" {
+			fmt.Fprintf(&b, "(%s)", op.Table)
+		}
+		fmt.Fprintf(&b, " rows=%.0f cpu=%.4gs io=%.4gMB mem=%.4gMB\n",
+			op.EstRows, op.EstCPU, op.EstIO, op.EstMem)
+		for _, c := range op.Children {
+			walk(c, depth+1)
+		}
+	}
+	if p.Root != nil {
+		walk(p.Root, 0)
+	}
+	return b.String()
+}

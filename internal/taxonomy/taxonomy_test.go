@@ -1,0 +1,116 @@
+package taxonomy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTreeShapeMatchesFigure1(t *testing.T) {
+	tree := Tree()
+	if len(tree.Children) != 4 {
+		t.Fatalf("figure 1 has four major classes, got %d", len(tree.Children))
+	}
+	leaves := tree.Leaves()
+	wantLeaves := []string{
+		ClassCharacterizationStatic,
+		ClassCharacterizationDynamic,
+		ClassAdmissionThreshold,
+		ClassAdmissionPrediction,
+		ClassSchedulingQueue,
+		ClassSchedulingRestructure,
+		ClassExecutionReprioritize,
+		ClassExecutionCancel,
+		ClassExecutionThrottle,
+		ClassExecutionSuspendResume,
+	}
+	if len(leaves) != len(wantLeaves) {
+		t.Fatalf("leaves = %d, want %d", len(leaves), len(wantLeaves))
+	}
+	for i, l := range leaves {
+		if l.Path != wantLeaves[i] {
+			t.Fatalf("leaf %d = %q, want %q", i, l.Path, wantLeaves[i])
+		}
+	}
+}
+
+func TestEveryLeafImplemented(t *testing.T) {
+	if gaps := CoverageGaps(); len(gaps) != 0 {
+		t.Fatalf("taxonomy leaves without implementations: %v", gaps)
+	}
+}
+
+func TestRegistryWellFormed(t *testing.T) {
+	valid := map[string]bool{"": true}
+	Tree().Walk(func(n *Node, _ int) { valid[n.Path] = true })
+	seen := map[string]bool{}
+	for _, tech := range Registry() {
+		if tech.Name == "" || tech.Source == "" || tech.Impl == "" {
+			t.Fatalf("incomplete technique: %+v", tech)
+		}
+		if !valid[tech.Class] {
+			t.Fatalf("technique %q references unknown class %q", tech.Name, tech.Class)
+		}
+		if seen[tech.Name] {
+			t.Fatalf("duplicate technique name %q", tech.Name)
+		}
+		seen[tech.Name] = true
+	}
+	if len(Registry()) < 25 {
+		t.Fatalf("registry has only %d techniques", len(Registry()))
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	out := RenderTree()
+	for _, want := range []string{"Workload Characterization", "Admission Control", "Scheduling", "Execution Control", "Request Throttling", "[", "techniques]"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered tree missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	tables := AllTables()
+	if len(tables) != 5 {
+		t.Fatalf("want 5 tables, got %d", len(tables))
+	}
+	for i, tb := range tables {
+		out := tb.Render()
+		if !strings.Contains(out, "Table") {
+			t.Fatalf("table %d missing title", i+1)
+		}
+		if len(tb.Rows) == 0 {
+			t.Fatalf("table %d empty", i+1)
+		}
+		for _, r := range tb.Rows {
+			if len(r) != len(tb.Header) {
+				t.Fatalf("table %d row width mismatch", i+1)
+			}
+		}
+	}
+	// Table 2 carries the five threshold rows of the paper plus the two
+	// prediction-based techniques.
+	if len(Table2().Rows) != 7 {
+		t.Fatalf("table 2 rows = %d", len(Table2().Rows))
+	}
+	// Table 3 carries the paper's five approaches.
+	if len(Table3().Rows) != 5 {
+		t.Fatalf("table 3 rows = %d", len(Table3().Rows))
+	}
+	// Tables 4 and 5: three systems, five techniques.
+	if len(Table4().Rows) != 3 || len(Table5().Rows) != 5 {
+		t.Fatal("table 4/5 row counts wrong")
+	}
+}
+
+func TestWalkDepths(t *testing.T) {
+	maxDepth := 0
+	Tree().Walk(func(_ *Node, d int) {
+		if d > maxDepth {
+			maxDepth = d
+		}
+	})
+	if maxDepth != 3 {
+		t.Fatalf("max depth = %d, want 3 (suspension subclasses)", maxDepth)
+	}
+}
