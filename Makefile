@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test vet race verify bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/experiments/...
+
+# verify is the tier-1 gate: build, vet, full tests, and a race pass over
+# the parallel experiment fan-out.
+verify: build vet test race
+
+# bench records kernel performance (engine benchmark ns/op + allocs/op and
+# benchtables wall time) into BENCH_kernel.json.
+bench:
+	./scripts/bench_kernel.sh

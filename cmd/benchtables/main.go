@@ -1,7 +1,9 @@
 // Command benchtables regenerates every table and figure of the paper's
 // evaluation material (see DESIGN.md's per-experiment index) and prints them
-// as aligned text tables. Expect a few minutes of wall time for the full
-// set; use -only to run a single experiment.
+// as aligned text tables. Sections run concurrently on a worker pool (each
+// experiment row is an independent simulation), but output is printed in the
+// fixed section order, so the rendered tables are byte-identical to a serial
+// run. Use -only to run a single experiment.
 //
 // Usage:
 //
@@ -12,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"dbwlm/internal/experiments"
 	"dbwlm/internal/taxonomy"
@@ -22,9 +25,9 @@ func main() {
 	seed := flag.Uint64("seed", 42, "simulation seed")
 	flag.Parse()
 
-	want := func(k string) bool { return *only == "" || *only == k }
-
-	if want("e0") {
+	// E0 runs first and serially: it is instant, and its coverage-gap check
+	// must be able to exit(1) before any simulation time is spent.
+	if *only == "" || *only == "e0" {
 		fmt.Println("E0 / Figure 1: taxonomy coverage")
 		fmt.Print(taxonomy.RenderTree())
 		if gaps := taxonomy.CoverageGaps(); len(gaps) > 0 {
@@ -34,56 +37,66 @@ func main() {
 		fmt.Println("all taxonomy leaves implemented: OK")
 		fmt.Println()
 	}
-	if want("t1") {
-		fmt.Println(taxonomy.Table1().Render())
-		fmt.Print(experiments.RunTable1(*seed).Render())
-		fmt.Println()
+
+	type section struct {
+		key    string
+		render func() string
 	}
-	if want("knee") {
-		fmt.Print(experiments.RunMPLKnee([]int{1, 2, 4, 8, 16, 32, 64, 128}, *seed).Render())
-		fmt.Println()
+	sections := []section{
+		{"t1", func() string {
+			return taxonomy.Table1().Render() + "\n" + experiments.RunTable1(*seed).Render() + "\n"
+		}},
+		{"knee", func() string {
+			return experiments.RunMPLKnee([]int{1, 2, 4, 8, 16, 32, 64, 128}, *seed).Render() + "\n"
+		}},
+		{"t2", func() string {
+			return experiments.RunTable2(experiments.Table2Scenario{Seed: *seed}).Render() + "\n"
+		}},
+		{"t3", func() string {
+			return experiments.RunTable3(experiments.Table3Scenario{Seed: *seed}).Render() + "\n"
+		}},
+		{"t4", func() string {
+			return experiments.RunTable4(experiments.Table4Scenario{Seed: *seed}).Render() + "\n"
+		}},
+		{"t5", func() string {
+			var b strings.Builder
+			for _, tb := range experiments.RunTable5(*seed) {
+				b.WriteString(tb.Render())
+				b.WriteString("\n")
+			}
+			return b.String()
+		}},
+		{"e6", func() string {
+			return experiments.RunAutonomic(*seed).Render() + "\n"
+		}},
+		{"a1", func() string {
+			return experiments.RunAblationThrottleMethods(*seed).Render() + "\n"
+		}},
+		{"a2", func() string {
+			return experiments.RunSuspendPlanComparison(0.5).Render() +
+				experiments.RunAblationRestructuring(*seed).Render() + "\n"
+		}},
+		{"a3", func() string {
+			return experiments.RunAblationEstimateError([]float64{1, 4, 16}, *seed).Render() + "\n"
+		}},
+		{"a4", func() string {
+			return experiments.RunAblationSchedulers(*seed).Render() + "\n"
+		}},
+		{"a5", func() string {
+			return experiments.RunAblationBatchOrdering(*seed).Render() + "\n"
+		}},
 	}
-	if want("t2") {
-		fmt.Print(experiments.RunTable2(experiments.Table2Scenario{Seed: *seed}).Render())
-		fmt.Println()
-	}
-	if want("t3") {
-		fmt.Print(experiments.RunTable3(experiments.Table3Scenario{Seed: *seed}).Render())
-		fmt.Println()
-	}
-	if want("t4") {
-		fmt.Print(experiments.RunTable4(experiments.Table4Scenario{Seed: *seed}).Render())
-		fmt.Println()
-	}
-	if want("t5") {
-		for _, tb := range experiments.RunTable5(*seed) {
-			fmt.Print(tb.Render())
-			fmt.Println()
+
+	var wanted []section
+	for _, s := range sections {
+		if *only == "" || *only == s.key {
+			wanted = append(wanted, s)
 		}
 	}
-	if want("e6") {
-		fmt.Print(experiments.RunAutonomic(*seed).Render())
-		fmt.Println()
-	}
-	if want("a1") {
-		fmt.Print(experiments.RunAblationThrottleMethods(*seed).Render())
-		fmt.Println()
-	}
-	if want("a2") {
-		fmt.Print(experiments.RunSuspendPlanComparison(0.5).Render())
-		fmt.Print(experiments.RunAblationRestructuring(*seed).Render())
-		fmt.Println()
-	}
-	if want("a3") {
-		fmt.Print(experiments.RunAblationEstimateError([]float64{1, 4, 16}, *seed).Render())
-		fmt.Println()
-	}
-	if want("a4") {
-		fmt.Print(experiments.RunAblationSchedulers(*seed).Render())
-		fmt.Println()
-	}
-	if want("a5") {
-		fmt.Print(experiments.RunAblationBatchOrdering(*seed).Render())
-		fmt.Println()
+	rendered := experiments.RunIndexed(len(wanted), func(i int) string {
+		return wanted[i].render()
+	})
+	for _, out := range rendered {
+		fmt.Print(out)
 	}
 }

@@ -213,9 +213,12 @@ func (p *KNNPredictor) ObserveCompletion(r *workload.Request, responseSeconds fl
 		k = 5
 	}
 	if p.historySize() >= min && (p.model == nil || p.sinceFit >= 25) {
+		// Concatenate buckets in fixed order: k-NN breaks distance ties by
+		// sample position, so a map-order walk would make predictions (and
+		// admission decisions) nondeterministic.
 		var all []learn.RegSample
-		for _, hs := range p.history {
-			all = append(all, hs...)
+		for b := RuntimeBucket(0); b < numBuckets; b++ {
+			all = append(all, p.history[b]...)
 		}
 		p.model = learn.TrainKNN(all, k)
 		p.sinceFit = 0

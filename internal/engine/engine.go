@@ -26,6 +26,11 @@ type Config struct {
 	// DeadlockCheckEvery is the number of quanta between wait-for-graph
 	// deadlock sweeps (default 5).
 	DeadlockCheckEvery int
+	// DisableFastForward turns off tick elision: every quantum is executed
+	// by the full scheduling loop. Fast-forward is on by default because it
+	// is bit-for-bit equivalent; disabling it is useful for debugging and
+	// for the equivalence tests themselves.
+	DisableFastForward bool
 }
 
 func (c Config) withDefaults() Config {
@@ -98,10 +103,10 @@ type Engine struct {
 	sim *sim.Simulator
 
 	queries map[int64]*Query
-	// order holds query IDs in submission (= ascending-ID) order; terminal
-	// entries are skipped during iteration and compacted lazily, avoiding a
-	// per-quantum sort.
-	order  []int64
+	// live holds queries in submission (= ascending-ID) order; terminal
+	// entries are skipped during iteration and compacted lazily, avoiding
+	// both a per-quantum sort and per-quantum map lookups.
+	live   []*Query
 	locks  *lockTable
 	nextID int64
 
@@ -110,13 +115,19 @@ type Engine struct {
 	lastCPUUsed float64
 	lastIOUsed  float64
 
+	// tickFn caches the tick method value so rescheduling the quantum loop
+	// does not allocate a closure per quantum.
+	tickFn func()
+
 	// Scratch buffers reused across quanta to avoid per-tick allocation
 	// (the tick is the simulator's hot loop).
-	scratchIDs      []int64
+	scratchAlive    []*Query
 	scratchRunnable []*Query
 	scratchCPU      []float64
 	scratchIO       []float64
 	scratchSlots    []allocSlot
+	scratchBlocked  map[int64]int
+	scratchFF       []ffRec
 
 	completed int64
 	killed    int64
@@ -124,18 +135,30 @@ type Engine struct {
 
 	// OnQuantum, when non-nil, is invoked at the end of every quantum with
 	// the engine; controllers that need per-quantum observation (PI
-	// throttling, indicator collection) hook here.
+	// throttling, indicator collection) hook here. Setting it disables tick
+	// elision unless OnQuantumCoarse is also set.
 	OnQuantum func(*Engine)
+	// OnQuantumCoarse declares that the OnQuantum hook tolerates coarse
+	// observation: it samples aggregate state rather than integrating a
+	// per-quantum signal, so during a fast-forward gap it is invoked only
+	// at the full quantum that ends the gap, not at every elided quantum.
+	// Hooks that accumulate per-quantum terms (PI controllers, indicator
+	// integrators) must leave it false, which pins the engine to
+	// quantum-by-quantum execution.
+	OnQuantumCoarse bool
 }
 
 // New returns an engine over the simulator with the given configuration.
 func New(s *sim.Simulator, cfg Config) *Engine {
-	return &Engine{
-		cfg:     cfg.withDefaults(),
-		sim:     s,
-		queries: make(map[int64]*Query),
-		locks:   newLockTable(),
+	e := &Engine{
+		cfg:            cfg.withDefaults(),
+		sim:            s,
+		queries:        make(map[int64]*Query),
+		locks:          newLockTable(),
+		scratchBlocked: make(map[int64]int),
 	}
+	e.tickFn = e.tick
+	return e
 }
 
 // Sim returns the engine's simulator.
@@ -174,31 +197,35 @@ func (e *Engine) Submit(spec QuerySpec, weight float64, onFinish func(*Query, Ou
 		onFinish:   onFinish,
 	}
 	e.queries[q.ID] = q
-	e.order = append(e.order, q.ID)
+	e.live = append(e.live, q)
 	e.ensureTicking()
 	return q
 }
 
-// liveIDs returns resident query IDs in ascending order, compacting the
-// order slice when it accumulates too many terminal entries.
-func (e *Engine) liveIDs() []int64 {
-	if len(e.order) > 2*len(e.queries)+16 {
-		kept := e.order[:0]
-		for _, id := range e.order {
-			if _, ok := e.queries[id]; ok {
-				kept = append(kept, id)
+// alive returns resident (non-terminal) queries in ascending-ID order,
+// compacting the live slice when it accumulates too many terminal entries.
+// The returned slice is scratch storage valid until the next call.
+func (e *Engine) alive() []*Query {
+	if len(e.live) > 2*len(e.queries)+16 {
+		kept := e.live[:0]
+		for _, q := range e.live {
+			if !q.state.Terminal() {
+				kept = append(kept, q)
 			}
 		}
-		e.order = kept
+		for i := len(kept); i < len(e.live); i++ {
+			e.live[i] = nil
+		}
+		e.live = kept
 	}
-	ids := e.scratchIDs[:0]
-	for _, id := range e.order {
-		if _, ok := e.queries[id]; ok {
-			ids = append(ids, id)
+	out := e.scratchAlive[:0]
+	for _, q := range e.live {
+		if !q.state.Terminal() {
+			out = append(out, q)
 		}
 	}
-	e.scratchIDs = ids
-	return ids
+	e.scratchAlive = out
+	return out
 }
 
 // Get returns the engine-side handle for id, or nil if the query has left
@@ -362,8 +389,9 @@ func (e *Engine) finish(q *Query, st State, oc Outcome) {
 	if q.onFinish != nil {
 		cb := q.onFinish
 		// Fire the callback after the current quantum's bookkeeping, so
-		// callbacks observe a consistent engine.
-		e.sim.Schedule(0, func() { cb(q, oc) })
+		// callbacks observe a consistent engine. Detached: the event is
+		// pooled by the simulator once it fires.
+		e.sim.ScheduleDetached(0, func() { cb(q, oc) })
 	}
 }
 
@@ -380,10 +408,11 @@ func (e *Engine) ensureTicking() {
 		return
 	}
 	e.ticking = true
-	e.sim.Schedule(e.cfg.Quantum, e.tick)
+	e.sim.ScheduleDetached(e.cfg.Quantum, e.tickFn)
 }
 
-// tick advances every resident query by one quantum.
+// tick advances every resident query by one quantum, then fast-forwards
+// across any run of provably identical quanta (see fastForward).
 func (e *Engine) tick() {
 	if len(e.queries) == 0 {
 		e.ticking = false
@@ -394,12 +423,8 @@ func (e *Engine) tick() {
 
 	// Phase 1: lock acquisition for running queries that have reached their
 	// next lock point.
-	ids := e.liveIDs()
-	for _, id := range ids {
-		q := e.queries[id]
-		if q == nil {
-			continue
-		}
+	alive := e.alive()
+	for _, q := range alive {
 		if q.state != StateRunning {
 			continue
 		}
@@ -407,9 +432,11 @@ func (e *Engine) tick() {
 	}
 
 	// Phase 2: memory pressure over resident (running + blocked +
-	// suspending) queries.
+	// suspending) queries. Iterating the live slice (ascending-ID order)
+	// rather than the query map keeps the floating-point sum order — and
+	// therefore the slowdown — deterministic.
 	var memDemand float64
-	for _, q := range e.queries {
+	for _, q := range alive {
 		if q.state == StateRunning || q.state == StateBlocked || q.state == StateSuspending {
 			memDemand += q.Spec.MemMB
 		}
@@ -421,11 +448,7 @@ func (e *Engine) tick() {
 
 	// Phase 3: CPU and IO allocation among runnable queries.
 	runnable := e.scratchRunnable[:0]
-	for _, id := range ids {
-		q := e.queries[id]
-		if q == nil {
-			continue
-		}
+	for _, q := range alive {
 		if q.state == StateRunning {
 			runnable = append(runnable, q)
 		}
@@ -435,9 +458,9 @@ func (e *Engine) tick() {
 	ioShares := e.allocateIO(runnable)
 
 	// Phase 4: advance progress and account blocked time.
+	eff := dt / slowdown
 	var cpuUsed, ioUsed float64
 	for i, q := range runnable {
-		eff := dt / slowdown
 		dc := cpuShares[i] * eff
 		di := ioShares[i] * eff
 		if q.Spec.CPUWork > 0 {
@@ -454,14 +477,12 @@ func (e *Engine) tick() {
 			q.lastCheckpoint = math.Floor(p/every) * every
 		}
 	}
-	for _, id := range ids {
-		q := e.queries[id]
-		if q == nil {
-			continue
-		}
+	blockedN := 0
+	for _, q := range alive {
 		switch q.state {
 		case StateBlocked:
 			q.blockedFor += e.cfg.Quantum
+			blockedN++
 		case StateSuspended:
 			q.suspended += e.cfg.Quantum
 		}
@@ -470,11 +491,8 @@ func (e *Engine) tick() {
 	e.lastIOUsed = ioUsed
 
 	// Phase 5: completions.
-	for _, id := range ids {
-		q := e.queries[id]
-		if q == nil {
-			continue
-		}
+	finished := 0
+	for _, q := range alive {
 		if q.state != StateRunning {
 			continue
 		}
@@ -482,24 +500,221 @@ func (e *Engine) tick() {
 		ioOK := q.Spec.IOWork <= 0 || q.ioDone >= q.Spec.IOWork-1e-12
 		if cpuOK && ioOK {
 			e.finish(q, StateDone, OutcomeCompleted)
+			finished++
 		}
 	}
 
 	// Phase 6: periodic deadlock detection; the youngest query in a cycle
-	// is chosen as the victim.
-	if e.quantumN%e.cfg.DeadlockCheckEvery == 0 {
-		e.resolveDeadlocks()
+	// is chosen as the victim. A sweep with no blocked queries is a no-op
+	// and is skipped outright.
+	if e.quantumN%e.cfg.DeadlockCheckEvery == 0 && blockedN > 0 {
+		finished += e.resolveDeadlocks()
 	}
 
 	if e.OnQuantum != nil {
+		// Guard the coarse-observation contract: if the hook finished or
+		// submitted queries this quantum, the shares just computed are
+		// stale and the upcoming quanta are not elidable.
+		pre := e.completed + e.killed + e.deadlocks + e.nextID
 		e.OnQuantum(e)
+		if post := e.completed + e.killed + e.deadlocks + e.nextID; post != pre {
+			finished++
+		}
 	}
 
-	if len(e.queries) > 0 {
-		e.sim.Schedule(e.cfg.Quantum, e.tick)
-	} else {
+	if len(e.queries) == 0 {
 		e.ticking = false
+		return
 	}
+
+	// Fast-forward: when this quantum changed no scheduling input (no query
+	// finished and no deadlock victim was killed — share allocation already
+	// reflects any phase-1 lock transition), every following quantum repeats
+	// the exact same per-query increments until the next "interesting"
+	// point. Apply those increments here and skip the intermediate ticks.
+	gap := sim.Duration(0)
+	if finished == 0 && !e.cfg.DisableFastForward &&
+		(e.OnQuantum == nil || e.OnQuantumCoarse) {
+		gap = e.fastForward(runnable, cpuShares, ioShares, eff, alive, blockedN)
+	}
+	e.sim.ScheduleDetached(e.cfg.Quantum+gap, e.tickFn)
+}
+
+// ffRec is the fast-forward working record for one runnable query: running
+// copies of its progress counters, its per-quantum increments, and the
+// boundaries at which the shared allocation would stop being valid.
+type ffRec struct {
+	q      *Query
+	cpu    float64 // running copy of cpuDone
+	io     float64 // running copy of ioDone
+	dc     float64 // CPU progress per quantum at current shares
+	di     float64 // IO progress per quantum at current shares
+	nc     float64 // candidate cpu after the next quantum
+	ni     float64 // candidate io after the next quantum
+	cpuLim float64 // stop before cpu reaches this (+Inf: cannot bound)
+	ioLim  float64
+	lockAt float64 // progress of the next lock acquisition (+Inf: none)
+}
+
+// fastForward computes how many upcoming quanta are provably identical to
+// the one just executed and applies their state updates in one batch,
+// bit-for-bit equivalent to running them one by one. The gap ends at the
+// earliest "interesting" point: a query approaching completion (or
+// exhausting one resource, which shifts the shares), a lock AtProgress
+// point, a deadlock sweep (only relevant while queries are blocked), the
+// next pending simulator event, or the driver's Run horizon. It returns the
+// extra virtual time to skip before the next full quantum.
+func (e *Engine) fastForward(runnable []*Query, cpuShares, ioShares []float64, eff float64, alive []*Query, blockedN int) sim.Duration {
+	const absCap = 1 << 16 // safety valve when nothing bounds the gap
+	q := int64(e.cfg.Quantum)
+	now := e.sim.Now()
+
+	gapMax := int64(absCap)
+	if t, ok := e.sim.NextEventAt(); ok {
+		// Elided quanta must precede the event strictly: pending events
+		// were scheduled before this tick, so at a shared timestamp they
+		// fire before the tick would.
+		if t <= now {
+			return 0
+		}
+		if g := (int64(t-now) - 1) / q; g < gapMax {
+			gapMax = g
+		}
+	}
+	if h, ok := e.sim.Horizon(); ok {
+		// The driver stops at h; quanta at exactly h still fire.
+		if h <= now {
+			return 0
+		}
+		if g := int64(h-now) / q; g < gapMax {
+			gapMax = g
+		}
+	}
+	if blockedN > 0 {
+		// The next deadlock sweep may kill a victim; stop just before it.
+		d := int64(e.cfg.DeadlockCheckEvery)
+		if g := d - int64(e.quantumN)%d - 1; g < gapMax {
+			gapMax = g
+		}
+	}
+	if gapMax <= 0 {
+		return 0
+	}
+
+	recs := e.scratchFF[:0]
+	for i, qq := range runnable {
+		r := ffRec{
+			q:      qq,
+			cpu:    qq.cpuDone,
+			io:     qq.ioDone,
+			dc:     cpuShares[i] * eff,
+			di:     ioShares[i] * eff,
+			cpuLim: math.Inf(1),
+			ioLim:  math.Inf(1),
+			lockAt: math.Inf(1),
+		}
+		if w := qq.Spec.CPUWork; w > 0 && r.dc > 0 {
+			if r.cpu < w-1e-12 {
+				// Completion-epsilon boundary (also precedes the exact
+				// clamp that would change slot membership).
+				r.cpuLim = w - 1e-12
+			} else {
+				// Already past the completion epsilon but alive on IO:
+				// the remaining boundary is the exact clamp at w.
+				r.cpuLim = w
+			}
+		}
+		if w := qq.Spec.IOWork; w > 0 && r.di > 0 {
+			if r.io < w-1e-12 {
+				r.ioLim = w - 1e-12
+			} else {
+				r.ioLim = w
+			}
+		}
+		if qq.nextLock < len(qq.Spec.Locks) {
+			r.lockAt = qq.Spec.Locks[qq.nextLock].AtProgress
+		}
+		recs = append(recs, r)
+	}
+	e.scratchFF = recs
+
+	gap := int64(0)
+	for gap < gapMax {
+		boundary := false
+		for i := range recs {
+			r := &recs[i]
+			if !math.IsInf(r.lockAt, 1) {
+				// Would the next full quantum's phase 1 find a due lock?
+				// Replicates Query.Progress bit for bit.
+				pc, pi := 1.0, 1.0
+				if w := r.q.Spec.CPUWork; w > 0 {
+					pc = r.cpu / w
+				}
+				if w := r.q.Spec.IOWork; w > 0 {
+					pi = r.io / w
+				}
+				p := pc
+				if pi < p {
+					p = pi
+				}
+				if p > 1 {
+					p = 1
+				}
+				if r.lockAt <= p {
+					boundary = true
+					break
+				}
+			}
+			r.nc = r.cpu + r.dc
+			r.ni = r.io + r.di
+			if r.nc >= r.cpuLim || r.ni >= r.ioLim {
+				boundary = true
+				break
+			}
+		}
+		if boundary {
+			break
+		}
+		for i := range recs {
+			recs[i].cpu = recs[i].nc
+			recs[i].io = recs[i].ni
+		}
+		gap++
+	}
+	if gap == 0 {
+		return 0
+	}
+
+	// Commit the batched updates. Values stayed strictly below every
+	// CPUWork/IOWork limit, so the per-quantum min() clamps were no-ops.
+	for i := range recs {
+		r := &recs[i]
+		qq := r.q
+		if qq.Spec.CPUWork > 0 {
+			qq.cpuDone = r.cpu
+		}
+		if qq.Spec.IOWork > 0 {
+			qq.ioDone = r.io
+		}
+		// Checkpoint catch-up: applying the rule once at the final
+		// progress yields the same lastCheckpoint as applying it every
+		// quantum, because progress was monotonic across the gap.
+		every := qq.Spec.checkpointEvery()
+		if p := qq.Progress(); p >= qq.lastCheckpoint+every {
+			qq.lastCheckpoint = math.Floor(p/every) * every
+		}
+	}
+	skipped := sim.Duration(gap) * e.cfg.Quantum
+	for _, qq := range alive {
+		switch qq.state {
+		case StateBlocked:
+			qq.blockedFor += skipped
+		case StateSuspended:
+			qq.suspended += skipped
+		}
+	}
+	e.quantumN += int(gap)
+	return skipped
 }
 
 // acquireDueLocks acquires, in order, every lock whose AtProgress point has
@@ -536,21 +751,24 @@ func holds(q *Query, key int) bool {
 	return false
 }
 
-// resolveDeadlocks kills the youngest member of each wait-for cycle.
-func (e *Engine) resolveDeadlocks() {
+// resolveDeadlocks kills the youngest member of each wait-for cycle. It
+// returns the number of victims killed.
+func (e *Engine) resolveDeadlocks() int {
+	kills := 0
 	for {
-		blocked := make(map[int64]int)
-		for id, q := range e.queries {
+		blocked := e.scratchBlocked
+		clear(blocked)
+		for _, q := range e.live {
 			if q.state == StateBlocked {
-				blocked[id] = q.waitingKey
+				blocked[q.ID] = q.waitingKey
 			}
 		}
 		if len(blocked) == 0 {
-			return
+			return kills
 		}
 		cycle := e.locks.detectDeadlock(blocked)
 		if len(cycle) == 0 {
-			return
+			return kills
 		}
 		victim := cycle[0]
 		for _, id := range cycle {
@@ -560,9 +778,10 @@ func (e *Engine) resolveDeadlocks() {
 		}
 		q := e.queries[victim]
 		if q == nil {
-			return
+			return kills
 		}
 		e.finish(q, StateDeadlocked, OutcomeDeadlocked)
+		kills++
 	}
 }
 
@@ -576,6 +795,10 @@ type allocSlot struct {
 // each slot and redistributing the excess. Throttled queries get a reduced
 // cap, so their self-imposed sleep frees real capacity for everyone else —
 // and leaves it unused when no one else wants it.
+//
+// waterfill consumes slots: saturated entries are compacted out of the
+// backing array in place between redistribution rounds, so the slice
+// contents are unspecified after the call.
 func waterfill(slots []allocSlot, capacity float64, shares []float64) {
 	for len(slots) > 0 && capacity > 1e-12 {
 		var sumW float64
@@ -586,7 +809,11 @@ func waterfill(slots []allocSlot, capacity float64, shares []float64) {
 			return
 		}
 		progressed := false
-		var remaining []allocSlot
+		// Partition in place: unsaturated slots are compacted to the front
+		// of the same backing array (stable, so redistribution order — and
+		// the floating-point result — matches the old copying version)
+		// without allocating a fresh slice per round.
+		remaining := slots[:0]
 		for _, s := range slots {
 			alloc := capacity * s.w / sumW
 			if alloc >= s.cap {
@@ -673,7 +900,10 @@ func (e *Engine) StatsNow() Stats {
 		Deadlocks: e.deadlocks,
 	}
 	var memDemand float64
-	for _, q := range e.queries {
+	for _, q := range e.live {
+		if q.state.Terminal() {
+			continue
+		}
 		st.InEngine++
 		switch q.state {
 		case StateRunning, StateSuspending:

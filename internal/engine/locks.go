@@ -1,6 +1,6 @@
 package engine
 
-import "sort"
+import "slices"
 
 // lockTable implements strict two-phase locking over an integer key space
 // with shared/exclusive modes, FIFO waiter queues, and wait-for-graph
@@ -14,6 +14,14 @@ type lockTable struct {
 	exclusive map[int]bool
 	// waiters maps key -> FIFO of waiting queries.
 	waiters map[int][]*lockWaiter
+
+	// Scratch buffers reused across detectDeadlock sweeps, so periodic
+	// deadlock detection does not allocate in steady state.
+	dIDs   []int64
+	dArena []int64          // concatenated per-waiter holder lists
+	dSpan  map[int64][2]int // waiter ID -> [start, end) into dArena
+	dColor map[int64]int8
+	dStack []int64
 }
 
 type lockWaiter struct {
@@ -141,42 +149,49 @@ func (lt *lockTable) promoteWaiters(key int) []*Query {
 	return woken
 }
 
-// holdersOf returns the IDs of queries holding key, sorted for determinism.
-func (lt *lockTable) holdersOf(key int) []int64 {
-	hs := lt.holders[key]
-	out := make([]int64, 0, len(hs))
-	for id := range hs {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
 // detectDeadlock finds one cycle in the wait-for graph and returns the IDs on
-// it (empty when none). blocked maps query ID -> the key it waits for.
+// it (empty when none). blocked maps query ID -> the key it waits for. The
+// adjacency structure and DFS state live in scratch buffers on the lock
+// table, so repeated sweeps are allocation-free once warm.
 func (lt *lockTable) detectDeadlock(blocked map[int64]int) []int64 {
-	// Build edges: waiter -> each holder of the awaited key.
-	adj := make(map[int64][]int64, len(blocked))
-	ids := make([]int64, 0, len(blocked))
+	if lt.dSpan == nil {
+		lt.dSpan = make(map[int64][2]int, len(blocked))
+		lt.dColor = make(map[int64]int8, len(blocked))
+	}
+	// Build edges: waiter -> each holder of the awaited key (sorted, for a
+	// deterministic visit order), flattened into one arena.
+	ids := lt.dIDs[:0]
+	arena := lt.dArena[:0]
+	clear(lt.dSpan)
+	clear(lt.dColor)
 	for id, key := range blocked {
-		adj[id] = lt.holdersOf(key)
+		start := len(arena)
+		for holder := range lt.holders[key] {
+			arena = append(arena, holder)
+		}
+		slices.Sort(arena[start:])
+		lt.dSpan[id] = [2]int{start, len(arena)}
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
+	lt.dIDs = ids
+	lt.dArena = arena
 
 	const (
 		white = 0
 		gray  = 1
 		black = 2
 	)
-	color := make(map[int64]int)
-	var stack []int64
+	color := lt.dColor
+	stack := lt.dStack[:0]
+	defer func() { lt.dStack = stack[:0] }()
 	var cycle []int64
 	var dfs func(id int64) bool
 	dfs = func(id int64) bool {
 		color[id] = gray
 		stack = append(stack, id)
-		for _, next := range adj[id] {
+		span := lt.dSpan[id]
+		for _, next := range arena[span[0]:span[1]] {
 			switch color[next] {
 			case gray:
 				// Found a cycle: emit the stack suffix from next.

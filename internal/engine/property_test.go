@@ -14,21 +14,25 @@ func TestWaterfillInvariants(t *testing.T) {
 	f := func(weightsRaw [6]uint8, capsRaw [6]uint8, capRaw uint8) bool {
 		var slots []allocSlot
 		shares := make([]float64, 6)
+		caps := make([]float64, 6)
 		var totalCap float64
 		for i := 0; i < 6; i++ {
 			w := float64(weightsRaw[i]%50) + 0.5
 			c := float64(capsRaw[i]%40)/10 + 0.1
 			slots = append(slots, allocSlot{i: i, w: w, cap: c})
+			caps[i] = c
 			totalCap += c
 		}
 		capacity := float64(capRaw%160) / 10
+		// waterfill consumes slots (in-place partition), so judge shares
+		// against caps captured before the call.
 		waterfill(slots, capacity, shares)
 		var sum float64
 		for i, s := range shares {
 			if s < -1e-12 {
 				return false
 			}
-			if s > slots[i].cap+1e-9 {
+			if s > caps[i]+1e-9 {
 				return false
 			}
 			sum += s

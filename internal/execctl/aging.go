@@ -9,6 +9,8 @@
 package execctl
 
 import (
+	"slices"
+
 	"dbwlm/internal/engine"
 	"dbwlm/internal/metrics"
 	"dbwlm/internal/sim"
@@ -23,6 +25,19 @@ type Managed struct {
 	Tier int
 	// IdealSeconds is the query's stand-alone runtime (velocity basis).
 	IdealSeconds float64
+}
+
+// managedIDs returns the controller's managed query IDs in ascending order.
+// Controller sweeps must not iterate the managed map directly: sweep actions
+// (kill, suspend, resume, throttle) are order-sensitive, so a map-order walk
+// would make runs nondeterministic.
+func managedIDs(m map[int64]*Managed, scratch []int64) []int64 {
+	ids := scratch[:0]
+	for id := range m {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	return ids
 }
 
 // Ager implements priority aging (Table 3, row 1; DB2 service subclasses):
@@ -45,6 +60,7 @@ type Ager struct {
 	Events *metrics.Recorder
 
 	managed   map[int64]*Managed
+	sweepIDs  []int64
 	demotions int64
 	started   bool
 }
@@ -90,7 +106,9 @@ func (a *Ager) ensureStarted() {
 
 func (a *Ager) sweep() {
 	now := a.Engine.Now()
-	for id, m := range a.managed {
+	a.sweepIDs = managedIDs(a.managed, a.sweepIDs)
+	for _, id := range a.sweepIDs {
+		m := a.managed[id]
 		q := a.Engine.Get(id)
 		if q == nil || q.State().Terminal() {
 			delete(a.managed, id)

@@ -31,9 +31,10 @@ type Killer struct {
 	// Events, when non-nil, records control actions.
 	Events *metrics.Recorder
 
-	managed map[int64]*Managed
-	kills   int64
-	started bool
+	managed  map[int64]*Managed
+	sweepIDs []int64
+	kills    int64
+	started  bool
 }
 
 // NewKiller returns a cancellation controller.
@@ -67,7 +68,8 @@ func (k *Killer) ensureStarted() {
 
 func (k *Killer) sweep() {
 	now := k.Engine.Now()
-	for id := range k.managed {
+	k.sweepIDs = managedIDs(k.managed, k.sweepIDs)
+	for _, id := range k.sweepIDs {
 		q := k.Engine.Get(id)
 		if q == nil || q.State().Terminal() {
 			delete(k.managed, id)

@@ -164,6 +164,7 @@ type Suspender struct {
 	SkipIfRemainingUnder float64
 
 	managed  map[int64]*Managed
+	sweepIDs []int64
 	suspends int64
 	resumes  int64
 	started  bool
@@ -208,7 +209,8 @@ func (s *Suspender) sweep() {
 	if maxResume <= 0 {
 		maxResume = 1
 	}
-	for id := range s.managed {
+	s.sweepIDs = managedIDs(s.managed, s.sweepIDs)
+	for _, id := range s.sweepIDs {
 		q := s.Engine.Get(id)
 		if q == nil || q.State().Terminal() {
 			delete(s.managed, id)

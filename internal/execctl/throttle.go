@@ -217,9 +217,10 @@ type Throttler struct {
 	// (default 10s): pause length = amount × window.
 	InterruptWindow sim.Duration
 
-	managed map[int64]*Managed
-	amount  float64
-	started bool
+	managed  map[int64]*Managed
+	sweepIDs []int64
+	amount   float64
+	started  bool
 	// nextPauseAt tracks when each query's next interrupt pause may begin
 	// (one pause per window, so pause and free-run alternate).
 	nextPauseAt map[int64]sim.Time
@@ -265,7 +266,8 @@ func (t *Throttler) step() {
 	if window <= 0 {
 		window = 10 * sim.Second
 	}
-	for id := range t.managed {
+	t.sweepIDs = managedIDs(t.managed, t.sweepIDs)
+	for _, id := range t.sweepIDs {
 		q := t.Engine.Get(id)
 		if q == nil || q.State().Terminal() {
 			delete(t.managed, id)

@@ -24,10 +24,9 @@ func (f fixedAmount) Update(float64) float64 { return f.v }
 // but interrupt throttling's long pauses make production latency bursty
 // (low during the pause, high during the free run).
 func RunAblationThrottleMethods(seed uint64) ResultTable {
+	methods := []execctl.ThrottleMethod{execctl.MethodConstant, execctl.MethodInterrupt}
 	t := ResultTable{Title: "A1: constant vs interrupt throttling at fixed amount 0.6"}
-	for _, method := range []execctl.ThrottleMethod{execctl.MethodConstant, execctl.MethodInterrupt} {
-		t.Rows = append(t.Rows, runThrottleMethodPoint(method, seed))
-	}
+	t.Rows = RunRows(len(methods), func(i int) Row { return runThrottleMethodPoint(methods[i], seed) })
 	return t
 }
 
@@ -83,12 +82,11 @@ func runThrottleMethodPoint(method execctl.ThrottleMethod, seed uint64) Row {
 // protection of OLTP decays as estimate error grows — monsters sneak under
 // the limit — while the predictor stays effective.
 func RunAblationEstimateError(underFactors []float64, seed uint64) ResultTable {
+	variants := []string{"cost-threshold", "predict-knn"}
 	t := ResultTable{Title: "A3: admission quality vs optimizer-estimate error"}
-	for _, under := range underFactors {
-		for _, variant := range []string{"cost-threshold", "predict-knn"} {
-			t.Rows = append(t.Rows, runEstimateErrorPoint(variant, under, seed))
-		}
-	}
+	t.Rows = RunRows(len(underFactors)*len(variants), func(i int) Row {
+		return runEstimateErrorPoint(variants[i%len(variants)], underFactors[i/len(variants)], seed)
+	})
 	return t
 }
 
@@ -143,14 +141,15 @@ func RunAblationSchedulers(seed uint64) ResultTable {
 		name string
 		q    scheduling.Queue
 	}
-	for _, v := range []mk{
+	variants := []mk{
 		{"fcfs", scheduling.NewFCFS()},
 		{"sjf", scheduling.NewSJF()},
 		{"priority", scheduling.NewPriority()},
 		{"rank", scheduling.NewRank()},
-	} {
-		t.Rows = append(t.Rows, runSchedulerBatch(v.name, v.q, seed))
 	}
+	t.Rows = RunRows(len(variants), func(i int) Row {
+		return runSchedulerBatch(variants[i].name, variants[i].q, seed)
+	})
 	return t
 }
 
@@ -231,10 +230,9 @@ func runSchedulerBatch(name string, q scheduling.Queue, seed uint64) Row {
 // bounds the monster's continuous residency, letting short queries through
 // between slices (Section 3.3, query restructuring).
 func RunAblationRestructuring(seed uint64) ResultTable {
+	variants := []string{"whole", "sliced"}
 	t := ResultTable{Title: "A2-bis: whole plan vs sliced sub-plans"}
-	for _, variant := range []string{"whole", "sliced"} {
-		t.Rows = append(t.Rows, runRestructurePoint(variant, seed))
-	}
+	t.Rows = RunRows(len(variants), func(i int) Row { return runRestructurePoint(variants[i], seed) })
 	return t
 }
 
@@ -320,10 +318,9 @@ func summarize(xs []float64) (mean, p95 float64) {
 // co-residence would overcommit the server, so the planned order avoids the
 // thrash windows the naive order hits.
 func RunAblationBatchOrdering(seed uint64) ResultTable {
+	variants := []string{"naive-order", "interaction-aware"}
 	t := ResultTable{Title: "A5: naive vs interaction-aware batch ordering (MPL 2)"}
-	for _, variant := range []string{"naive-order", "interaction-aware"} {
-		t.Rows = append(t.Rows, runBatchOrderPoint(variant, seed))
-	}
+	t.Rows = RunRows(len(variants), func(i int) Row { return runBatchOrderPoint(variants[i], seed) })
 	return t
 }
 

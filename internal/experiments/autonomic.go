@@ -149,11 +149,10 @@ func RunAutonomicMAPE(variant string, seed uint64) Row {
 	}
 }
 
-// RunAutonomic runs the MAPE-vs-static comparison.
+// RunAutonomic runs the MAPE-vs-static comparison, one variant per worker.
 func RunAutonomic(seed uint64) ResultTable {
+	vs := []string{"no-control", "static-threshold", "autonomic-mape"}
 	t := ResultTable{Title: "E6: autonomic MAPE loop vs static thresholds under a workload shift"}
-	for _, v := range []string{"no-control", "static-threshold", "autonomic-mape"} {
-		t.Rows = append(t.Rows, RunAutonomicMAPE(v, seed))
-	}
+	t.Rows = RunRows(len(vs), func(i int) Row { return RunAutonomicMAPE(vs[i], seed) })
 	return t
 }

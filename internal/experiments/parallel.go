@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunIndexed fans n independent jobs out over a worker pool bounded by
+// GOMAXPROCS and returns their results ordered by job index. Every
+// experiment row builds its own Simulator from its own seed, so rows share
+// no mutable state; the pool only changes wall-clock time, never results.
+// Jobs are handed out by an atomic counter, so scheduling order is
+// arbitrary — determinism comes from writing results[i] in place.
+func RunIndexed[T any](n int, job func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			out[i] = job(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// RunRows is RunIndexed specialized to experiment rows, the common case for
+// the table drivers.
+func RunRows(n int, job func(i int) Row) []Row {
+	return RunIndexed(n, job)
+}

@@ -226,18 +226,21 @@ func table2Row(v Table2Variant, m *dbwlm.Manager) Row {
 }
 
 // RunTable2 runs both admission scenarios with the rows relevant to each.
+// Rows fan out across the worker pool; each builds its own simulator.
 func RunTable2(sc Table2Scenario) ResultTable {
+	txn := []Table2Variant{T2None, T2MPL, T2ConflictRatio, T2ThroughputFeedback, T2Indicators}
+	mix := []Table2Variant{T2None, T2QueryCost, T2Indicators, T2PredictTree, T2PredictKNN}
 	t := ResultTable{Title: "Table 2: admission control — txn overload (top) and monster mix (bottom)"}
-	for _, v := range []Table2Variant{T2None, T2MPL, T2ConflictRatio, T2ThroughputFeedback, T2Indicators} {
-		r := RunTable2TxnVariant(v, sc)
-		r.Name = "txn/" + r.Name
-		t.Rows = append(t.Rows, r)
-	}
-	for _, v := range []Table2Variant{T2None, T2QueryCost, T2Indicators, T2PredictTree, T2PredictKNN} {
-		r := RunTable2MonsterVariant(v, sc)
+	t.Rows = RunRows(len(txn)+len(mix), func(i int) Row {
+		if i < len(txn) {
+			r := RunTable2TxnVariant(txn[i], sc)
+			r.Name = "txn/" + r.Name
+			return r
+		}
+		r := RunTable2MonsterVariant(mix[i-len(txn)], sc)
 		r.Name = "mix/" + r.Name
-		t.Rows = append(t.Rows, r)
-	}
+		return r
+	})
 	return t
 }
 
@@ -247,9 +250,7 @@ func RunTable2(sc Table2Scenario) ResultTable {
 // [7][16][27]).
 func RunMPLKnee(mpls []int, seed uint64) ResultTable {
 	t := ResultTable{Title: "Figure E2b: throughput vs multiprogramming level"}
-	for _, mpl := range mpls {
-		t.Rows = append(t.Rows, kneePoint(mpl, seed))
-	}
+	t.Rows = RunRows(len(mpls), func(i int) Row { return kneePoint(mpls[i], seed) })
 	return t
 }
 

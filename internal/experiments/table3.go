@@ -222,11 +222,10 @@ func RunTable3Variant(v Table3Variant, sc Table3Scenario) Row {
 	return row
 }
 
-// RunTable3 runs all variants.
+// RunTable3 runs all variants, fanned out across the worker pool.
 func RunTable3(sc Table3Scenario) ResultTable {
+	vs := Table3Variants()
 	t := ResultTable{Title: "Table 3: execution-control approaches vs problematic queries"}
-	for _, v := range Table3Variants() {
-		t.Rows = append(t.Rows, RunTable3Variant(v, sc))
-	}
+	t.Rows = RunRows(len(vs), func(i int) Row { return RunTable3Variant(vs[i], sc) })
 	return t
 }

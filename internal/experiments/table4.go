@@ -84,11 +84,9 @@ func GovernorProfiles() []*governor.Profile { return governor.Profiles() }
 // RunTable4 runs the baseline, the paper's three commercial profiles, and
 // the Oracle Database Resource Manager extension profile.
 func RunTable4(sc Table4Scenario) ResultTable {
+	profiles := append([]*governor.Profile{nil}, governor.Profiles()...)
+	profiles = append(profiles, governor.OracleProfile())
 	t := ResultTable{Title: "Table 4: commercial workload management systems on the consolidated scenario"}
-	t.Rows = append(t.Rows, RunTable4Profile(nil, sc))
-	for _, p := range governor.Profiles() {
-		t.Rows = append(t.Rows, RunTable4Profile(p, sc))
-	}
-	t.Rows = append(t.Rows, RunTable4Profile(governor.OracleProfile(), sc))
+	t.Rows = RunRows(len(profiles), func(i int) Row { return RunTable4Profile(profiles[i], sc) })
 	return t
 }

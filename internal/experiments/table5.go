@@ -535,29 +535,47 @@ func (g *funcGen) Start(s *sim.Simulator, horizon sim.Time, submit workload.Subm
 	next()
 }
 
-// RunTable5 runs every research-technique experiment.
+// RunTable5 runs every research-technique experiment. All rows across the
+// five sub-tables share one worker-pool fan-out (each row is an independent
+// simulation); the plan-comparison table runs alongside them.
 func RunTable5(seed uint64) []ResultTable {
-	niu := ResultTable{Title: "Table 5a: Niu et al. utility cost-limit scheduler"}
+	type t5job struct {
+		table int
+		run   func() Row
+	}
+	var jobs []t5job
+	add := func(table int, run func() Row) { jobs = append(jobs, t5job{table, run}) }
 	for _, v := range []string{"fcfs", "niu-utility"} {
-		niu.Rows = append(niu.Rows, RunNiuScheduler(v, seed))
+		add(0, func() Row { return RunNiuScheduler(v, seed) })
 	}
-	parekh := ResultTable{Title: "Table 5b: Parekh et al. utility throttling"}
 	for _, v := range []string{"no-throttling", "pi-throttling"} {
-		parekh.Rows = append(parekh.Rows, RunParekhThrottling(v, seed))
+		add(1, func() Row { return RunParekhThrottling(v, seed) })
 	}
-	powley := ResultTable{Title: "Table 5c: Powley et al. query throttling"}
 	for _, c := range []string{"step", "black-box"} {
 		for _, meth := range []execctl.ThrottleMethod{execctl.MethodConstant, execctl.MethodInterrupt} {
-			powley.Rows = append(powley.Rows, RunPowleyThrottling(c, meth, seed))
+			add(2, func() Row { return RunPowleyThrottling(c, meth, seed) })
 		}
 	}
-	chandra := ResultTable{Title: "Table 5d: Chandramouli et al. suspend & resume"}
 	for _, st := range []engine.SuspendStrategy{engine.SuspendDumpState, engine.SuspendGoBack} {
-		chandra.Rows = append(chandra.Rows, RunSuspendResume(st, seed))
+		add(3, func() Row { return RunSuspendResume(st, seed) })
 	}
-	krompass := ResultTable{Title: "Table 5e: Krompass et al. fuzzy execution control"}
 	for _, v := range []string{"no-control", "fuzzy-control"} {
-		krompass.Rows = append(krompass.Rows, RunKrompassFuzzy(v, seed))
+		add(4, func() Row { return RunKrompassFuzzy(v, seed) })
 	}
-	return []ResultTable{niu, parekh, powley, chandra, krompass, RunSuspendPlanComparison(0.5)}
+
+	planCh := make(chan ResultTable, 1)
+	go func() { planCh <- RunSuspendPlanComparison(0.5) }()
+	rows := RunRows(len(jobs), func(i int) Row { return jobs[i].run() })
+
+	tables := []ResultTable{
+		{Title: "Table 5a: Niu et al. utility cost-limit scheduler"},
+		{Title: "Table 5b: Parekh et al. utility throttling"},
+		{Title: "Table 5c: Powley et al. query throttling"},
+		{Title: "Table 5d: Chandramouli et al. suspend & resume"},
+		{Title: "Table 5e: Krompass et al. fuzzy execution control"},
+	}
+	for i, j := range jobs {
+		tables[j.table].Rows = append(tables[j.table].Rows, rows[i])
+	}
+	return append(tables, <-planCh)
 }

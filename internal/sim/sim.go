@@ -67,6 +67,10 @@ type Event struct {
 	fn       func()
 	index    int // heap index; -1 once popped
 	canceled bool
+	// detached events were scheduled via ScheduleDetached: no caller holds a
+	// reference, so the simulator recycles them through a free list.
+	detached bool
+	sim      *Simulator
 }
 
 // Time reports when the event is scheduled to fire.
@@ -74,7 +78,15 @@ func (e *Event) Time() Time { return e.at }
 
 // Cancel prevents the event from firing. Canceling an event that has already
 // fired is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+func (e *Event) Cancel() {
+	if e.canceled {
+		return
+	}
+	e.canceled = true
+	if e.index >= 0 && e.sim != nil {
+		e.sim.noteCanceled()
+	}
+}
 
 // Canceled reports whether Cancel has been called on the event.
 func (e *Event) Canceled() bool { return e.canceled }
@@ -116,6 +128,20 @@ type Simulator struct {
 	seq    int64
 	events eventHeap
 	rng    *RNG
+
+	// free is the recycle list for detached events (the simulator's hot
+	// allocation path: engine ticks and finish callbacks).
+	free []*Event
+	// canceledPending counts canceled events still sitting in the heap;
+	// when they exceed half the heap the heap is compacted in one pass
+	// rather than draining them one pop at a time.
+	canceledPending int
+
+	// horizon is the bound of the innermost active Run call (valid while
+	// running > 0). Fast-forwarding consumers use it to avoid advancing
+	// simulated state past the point the driver asked for.
+	horizon    Time
+	horizonSet bool
 }
 
 // New returns a simulator whose random source is seeded with seed.
@@ -149,11 +175,95 @@ func (s *Simulator) At(t Time, fn func()) *Event {
 	if t < s.now {
 		t = s.now
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn}
+	e := &Event{at: t, seq: s.seq, fn: fn, sim: s}
 	s.seq++
 	heap.Push(&s.events, e)
 	return e
 }
+
+// ScheduleDetached arranges for fn to run after delay, like Schedule, but
+// returns no handle: the event cannot be canceled, and the simulator recycles
+// the Event object through a free list once it fires. This is the
+// allocation-free path for high-frequency internal events (the engine's
+// quantum tick, finish callbacks).
+func (s *Simulator) ScheduleDetached(delay Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	t := s.now.Add(delay)
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*e = Event{at: t, seq: s.seq, fn: fn, detached: true, sim: s}
+	} else {
+		e = &Event{at: t, seq: s.seq, fn: fn, detached: true, sim: s}
+	}
+	s.seq++
+	heap.Push(&s.events, e)
+}
+
+// recycle returns a fired (or discarded-canceled) detached event to the free
+// list. Non-detached events may still be referenced by their scheduler and
+// are left to the garbage collector.
+func (s *Simulator) recycle(e *Event) {
+	if !e.detached {
+		return
+	}
+	e.fn = nil
+	e.sim = nil
+	s.free = append(s.free, e)
+}
+
+// noteCanceled records a cancellation of an event still in the heap and
+// lazily compacts the heap when canceled events outnumber live ones.
+func (s *Simulator) noteCanceled() {
+	s.canceledPending++
+	if s.canceledPending > len(s.events)/2 && len(s.events) >= 64 {
+		s.compact()
+	}
+}
+
+// compact removes every canceled event from the heap in one pass.
+func (s *Simulator) compact() {
+	kept := s.events[:0]
+	for _, e := range s.events {
+		if e.canceled {
+			e.index = -1
+			s.recycle(e)
+			continue
+		}
+		kept = append(kept, e)
+	}
+	for i := len(kept); i < len(s.events); i++ {
+		s.events[i] = nil
+	}
+	s.events = kept
+	s.canceledPending = 0
+	heap.Init(&s.events)
+}
+
+// NextEventAt reports the time of the earliest pending (non-canceled) event.
+// The second result is false when no live events are pending.
+func (s *Simulator) NextEventAt() (Time, bool) {
+	for len(s.events) > 0 {
+		e := s.events[0]
+		if !e.canceled {
+			return e.at, true
+		}
+		heap.Pop(&s.events)
+		s.canceledPending--
+		s.recycle(e)
+	}
+	return 0, false
+}
+
+// Horizon reports the bound of the innermost active Run call, when one is
+// active. Consumers that batch virtual time (the engine's fast-forward path)
+// use it so simulated state never advances past the driver's requested stop
+// point.
+func (s *Simulator) Horizon() (Time, bool) { return s.horizon, s.horizonSet }
 
 // Every schedules fn to run every interval until fn returns false or the
 // returned Event chain is canceled via the stop function.
@@ -185,10 +295,14 @@ func (s *Simulator) Step() bool {
 	for len(s.events) > 0 {
 		e := heap.Pop(&s.events).(*Event)
 		if e.canceled {
+			s.canceledPending--
+			s.recycle(e)
 			continue
 		}
 		s.now = e.at
-		e.fn()
+		fn := e.fn
+		s.recycle(e)
+		fn()
 		return true
 	}
 	return false
@@ -198,12 +312,17 @@ func (s *Simulator) Step() bool {
 // until. It returns the number of events fired. Time is left at min(until,
 // time of last event fired).
 func (s *Simulator) Run(until Time) int {
+	prevHorizon, prevSet := s.horizon, s.horizonSet
+	s.horizon, s.horizonSet = until, true
+	defer func() { s.horizon, s.horizonSet = prevHorizon, prevSet }()
 	fired := 0
 	for len(s.events) > 0 {
 		// Peek.
 		e := s.events[0]
 		if e.canceled {
 			heap.Pop(&s.events)
+			s.canceledPending--
+			s.recycle(e)
 			continue
 		}
 		if e.at > until {
@@ -211,10 +330,12 @@ func (s *Simulator) Run(until Time) int {
 		}
 		heap.Pop(&s.events)
 		s.now = e.at
-		e.fn()
+		fn := e.fn
+		s.recycle(e)
+		fn()
 		fired++
 	}
-	if s.now < until && fired >= 0 {
+	if s.now < until {
 		// Advance the clock to the requested horizon so that successive
 		// Run calls observe monotonic time.
 		s.now = until

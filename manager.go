@@ -2,6 +2,7 @@ package dbwlm
 
 import (
 	"fmt"
+	"sort"
 
 	"dbwlm/internal/admission"
 	"dbwlm/internal/characterize"
@@ -294,17 +295,22 @@ func (m *Manager) Resubmit(rr *Running) bool {
 // Running returns the manager handle for an engine query ID, or nil.
 func (m *Manager) RunningByQuery(id int64) *Running { return m.running[id] }
 
-// RunningAll returns all in-flight handles (unspecified order).
+// RunningAll returns all in-flight handles in ascending engine query ID
+// order. The order matters: controllers (execution control, MAPE planning)
+// iterate this list and act on queries in sequence, so a map-order walk
+// would make control decisions — and therefore whole runs — nondeterministic.
 func (m *Manager) RunningAll() []*Running {
 	out := make([]*Running, 0, len(m.running))
 	for _, rr := range m.running {
 		out = append(out, rr)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Query.ID < out[j].Query.ID })
 	return out
 }
 
 // QueriesOfClass lists engine query IDs currently attributed to a service
-// class — the reallocator's view.
+// class — the reallocator's view. Sorted ascending for deterministic
+// control decisions.
 func (m *Manager) QueriesOfClass(class string) []int64 {
 	var out []int64
 	for id, rr := range m.running {
@@ -312,6 +318,7 @@ func (m *Manager) QueriesOfClass(class string) []int64 {
 			out = append(out, id)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench_kernel.sh — record kernel performance numbers into BENCH_kernel.json.
+#
+# Captures ns/op and allocs/op for the engine benchmarks (BenchmarkEngineLight,
+# BenchmarkEngineCrowded) and the wall-clock seconds of a full
+# `benchtables -seed 42` regeneration, as machine-readable JSON. Run via
+# `make bench` from the repository root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH_OUT=$(go test -run '^$' -bench 'BenchmarkEngine(Light|Crowded)$' -benchmem -benchtime 5x ./internal/engine/)
+
+metric() { # metric <benchmark-name> <field: ns/op|allocs/op>
+	printf '%s\n' "$BENCH_OUT" | awk -v name="$1" -v field="$2" '
+		$1 ~ "^" name "(-[0-9]+)?$" {
+			for (i = 2; i < NF; i++) if ($(i + 1) == field) { print $i; exit }
+		}'
+}
+
+LIGHT_NS=$(metric BenchmarkEngineLight "ns/op")
+LIGHT_ALLOCS=$(metric BenchmarkEngineLight "allocs/op")
+CROWDED_NS=$(metric BenchmarkEngineCrowded "ns/op")
+CROWDED_ALLOCS=$(metric BenchmarkEngineCrowded "allocs/op")
+
+go build -o /tmp/dbwlm_benchtables ./cmd/benchtables
+START=$(date +%s)
+/tmp/dbwlm_benchtables -seed 42 > /dev/null
+WALL=$(( $(date +%s) - START ))
+
+GOMAXPROCS_VAL=$(nproc 2>/dev/null || echo 1)
+
+cat > BENCH_kernel.json <<EOF
+{
+  "engine_light_ns_per_op": $LIGHT_NS,
+  "engine_light_allocs_per_op": $LIGHT_ALLOCS,
+  "engine_crowded_ns_per_op": $CROWDED_NS,
+  "engine_crowded_allocs_per_op": $CROWDED_ALLOCS,
+  "benchtables_wall_seconds": $WALL,
+  "gomaxprocs": $GOMAXPROCS_VAL
+}
+EOF
+
+cat BENCH_kernel.json
