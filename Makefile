@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench
+.PHONY: build test vet race verify bench bench-live
 
 build:
 	$(GO) build ./...
@@ -12,13 +12,18 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/experiments/...
+	$(GO) test -race ./internal/experiments/... ./internal/rt/... ./cmd/wlmd/...
 
 # verify is the tier-1 gate: build, vet, full tests, and a race pass over
-# the parallel experiment fan-out.
+# the parallel experiment fan-out and the live runtime.
 verify: build vet test race
 
 # bench records kernel performance (engine benchmark ns/op + allocs/op and
-# benchtables wall time) into BENCH_kernel.json.
+# benchtables wall time at GOMAXPROCS 1 and 2) into BENCH_kernel.json.
 bench:
 	./scripts/bench_kernel.sh
+
+# bench-live records live-runtime admission throughput (BenchmarkLiveAdmit at
+# GOMAXPROCS 1/2/4/8, allocs/op) into BENCH_live.json.
+bench-live:
+	./scripts/bench_live.sh

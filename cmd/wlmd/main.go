@@ -1,0 +1,116 @@
+// Command wlmd runs the live workload-management runtime as an HTTP daemon:
+// a workload-management layer in front of a database engine, in the spirit of
+// the taxonomy's admission-control systems. Clients ask /admit before running
+// work and report /done after; limits reload at runtime through /policy.
+//
+//	wlmd -addr :8628              # serve
+//	wlmd -selftest -workers 64    # closed-loop in-process load generator
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"dbwlm/internal/policy"
+	"dbwlm/internal/rt"
+	"dbwlm/internal/rthttp"
+	"dbwlm/internal/sim"
+)
+
+// defaultClasses is the built-in three-tier service-class table: interactive
+// traffic flows freely, reporting is cost-capped, batch is throttled hard and
+// sheds load after five seconds of queueing.
+func defaultClasses() []rt.ClassSpec {
+	return []rt.ClassSpec{
+		{Name: "interactive", Priority: policy.PriorityHigh, MaxMPL: 32},
+		{Name: "reporting", Priority: policy.PriorityMedium, MaxMPL: 8, MaxCostTimerons: 50000},
+		{Name: "batch", Priority: policy.PriorityLow, MaxMPL: 4,
+			MaxQueueDelay: 5 * time.Second, RetryBatch: 8},
+	}
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8628", "HTTP listen address")
+		policyPath = flag.String("policy", "", "JSON runtime policy applied at startup")
+		globalMPL  = flag.Int("global-mpl", 48, "global concurrent-admission cap (0 = unlimited)")
+		selftest   = flag.Bool("selftest", false, "run the closed-loop load generator and exit")
+		workers    = flag.Int("workers", 64, "selftest: concurrent closed-loop workers")
+		perWorker  = flag.Int("per-worker", 200, "selftest: requests per worker")
+		seed       = flag.Uint64("seed", 1, "selftest: RNG seed")
+	)
+	flag.Parse()
+
+	r, err := rt.New(defaultClasses(), rt.Options{GlobalMaxMPL: *globalMPL})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *policyPath != "" {
+		data, err := os.ReadFile(*policyPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := policy.ParseRuntimePolicy(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := r.ApplyPolicy(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *selftest {
+		fmt.Print(runSelfTest(r, *workers, *perWorker, *seed))
+		return
+	}
+
+	r.Start()
+	defer r.Stop()
+	stopInd := rthttp.RunIndicatorLoop(r, 250*time.Millisecond)
+	defer stopInd()
+	log.Printf("wlmd: %d classes, global MPL %d, listening on %s", r.NumClasses(), *globalMPL, *addr)
+	log.Fatal(http.ListenAndServe(*addr, rthttp.NewServer(r)))
+}
+
+// runSelfTest drives the runtime with a closed-loop in-process generator:
+// workers spread across the class table admit, hold their slot for a
+// lognormal service time, and release — the live analogue of the simulated
+// experiments. It returns a per-class summary table.
+func runSelfTest(r *rt.Runtime, workers, perWorker int, seed uint64) string {
+	r.Start()
+	defer r.Stop()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := sim.NewRNG(seed + uint64(w))
+			class := rt.ClassID(w % r.NumClasses())
+			for i := 0; i < perWorker; i++ {
+				cost := 1000 * rng.LogNormal(0, 1)
+				g := r.Admit(class, cost)
+				if !g.Admitted() {
+					continue // rejected: closed loop issues the next request
+				}
+				service := time.Duration(rng.LogNormal(0, 0.5) * float64(100*time.Microsecond))
+				time.Sleep(service)
+				r.Done(g, service.Seconds())
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	out := fmt.Sprintf("%-12s %9s %9s %9s %9s %9s %12s\n",
+		"class", "admitted", "queued", "rejected", "timeouts", "done", "p95 lat ms")
+	for _, st := range r.Snapshot() {
+		out += fmt.Sprintf("%-12s %9d %9d %9d %9d %9d %12.3f\n",
+			st.Class, st.Admitted, st.Queued, st.Rejected, st.Timeouts, st.Done,
+			1000*st.Latency.P95)
+	}
+	return out
+}

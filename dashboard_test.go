@@ -41,6 +41,33 @@ func TestDashboardRendersLiveState(t *testing.T) {
 	}
 }
 
+// TestDashboardDeterministic renders the same mixed-workload run repeatedly:
+// the dashboard must come out byte-identical every time. This pins the
+// map-order audit — any map-order iteration feeding the rendered output shows
+// up here as flaky bytes.
+func TestDashboardDeterministic(t *testing.T) {
+	render := func() string {
+		s := sim.New(7)
+		m := New(s, engine.Config{Cores: 4, IOMBps: 400})
+		m.Scheduler = scheduling.NewScheduler(scheduling.NewPriority(), &scheduling.MPL{Max: 8})
+		gens := []workload.Generator{
+			oltpGen(40),
+			&workload.AdHocGen{WorkloadName: "adhoc", Rate: 0.5, Seq: &workload.Sequence{}},
+		}
+		for _, g := range gens {
+			g.Start(s, sim.Time(20*sim.Second), func(r *workload.Request) { m.Submit(r) })
+		}
+		s.Run(sim.Time(10 * sim.Second))
+		return m.Dashboard() + m.Report()
+	}
+	first := render()
+	for i := 0; i < 4; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d rendered different bytes:\n--- first ---\n%s\n--- run %d ---\n%s", i+2, first, i+2, got)
+		}
+	}
+}
+
 func TestDashboardCountsSuspended(t *testing.T) {
 	s := sim.New(1)
 	m := New(s, engine.Config{Cores: 4, IOMBps: 400})

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"dbwlm"
+	"dbwlm/internal/autonomic"
 	"dbwlm/internal/engine"
 	"dbwlm/internal/policy"
 	"dbwlm/internal/sim"
@@ -36,8 +37,13 @@ func main() {
 	fmt.Print(m.Report())
 	fmt.Printf("\nMAPE loop: %d cycles, %d symptoms, %d actions\n",
 		am.Loop.Cycles(), am.Loop.Symptoms(), am.Loop.Actions())
-	for kind, n := range am.Actions() {
-		fmt.Printf("  %v: %d\n", kind, n)
+	// Render action counts in declared kind order, not map order, so repeated
+	// runs print byte-identical reports.
+	actions := am.Actions()
+	for kind := autonomic.ActionThrottle; kind <= autonomic.ActionNone; kind++ {
+		if n := actions[kind]; n > 0 {
+			fmt.Printf("  %v: %d\n", kind, n)
+		}
 	}
 	fmt.Printf("OLTP SLA met: %v\n", m.Attainment("oltp").Met)
 	fmt.Println()

@@ -50,6 +50,21 @@ type Controller interface {
 	Decide(r *workload.Request, now sim.Time) Decision
 }
 
+// View is the snapshot of server load that state-dependent controllers
+// consume: the resident-request count and the instantaneous load statistics.
+// The simulated *engine.Engine satisfies it directly; the live runtime
+// (internal/rt) satisfies it with merged sharded counters, so the same
+// threshold and indicator controllers gate simulated and real traffic
+// unchanged. Implementations guarantee that each returned figure is exact at
+// some recent instant; they do not guarantee that different fields were read
+// at the same instant.
+type View interface {
+	// InEngine reports the number of resident (non-terminal) requests.
+	InEngine() int
+	// StatsNow snapshots instantaneous load.
+	StatsNow() engine.Stats
+}
+
 // CompletionObserver is implemented by controllers that learn from finished
 // requests (throughput feedback, prediction-based).
 type CompletionObserver interface {
@@ -95,7 +110,7 @@ func (c *CostThreshold) Decide(r *workload.Request, _ sim.Time) Decision {
 // reached the limit — the "MPLs" row of Table 2 and the classic
 // multiprogramming-level configuration parameter.
 type MPLThreshold struct {
-	Engine *engine.Engine
+	Engine View
 	Max    int
 }
 
@@ -114,7 +129,7 @@ func (c *MPLThreshold) Decide(_ *workload.Request, _ sim.Time) Decision {
 // ratio exceeds the critical threshold (Moenkeberg & Weikum [56]; their
 // empirically robust critical value is ~1.3).
 type ConflictRatio struct {
-	Engine *engine.Engine
+	Engine View
 	// Critical is the conflict-ratio threshold (default 1.3).
 	Critical float64
 }
@@ -138,7 +153,7 @@ func (c *ConflictRatio) Decide(_ *workload.Request, _ sim.Time) Decision {
 // exceeds its threshold (Zhang et al. [79][80]): a set of congestion
 // indicators rather than a single parameter.
 type Indicators struct {
-	Engine *engine.Engine
+	Engine View
 	// MaxMemPressure gates when demand/capacity exceeds this (default 1.0).
 	MaxMemPressure float64
 	// MaxBlockedFraction gates when blocked/in-engine exceeds this

@@ -214,7 +214,11 @@ func SQLServerProfile() *Profile {
 					demand[rr.Class.Name] = true
 				}
 				alloc := pools.AllocateCPU(demand)
-				for pool, share := range alloc {
+				// Walk pools in declared order, not map order: SetWeight
+				// calls land on the engine in a stable sequence, keeping
+				// whole runs reproducible.
+				for _, p := range pools.Pools() {
+					pool, share := p.Name, alloc[p.Name]
 					ids := m.QueriesOfClass(pool)
 					if len(ids) == 0 || share <= 0 {
 						continue

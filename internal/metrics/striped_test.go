@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"dbwlm/internal/sim"
+)
+
+// TestStripedCounterMergeEqualsReference: concurrent sharded increments merge
+// to the exact total.
+func TestStripedCounterMergeEqualsReference(t *testing.T) {
+	c := NewStripedCounter(8)
+	const workers, per = 64, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Fatalf("merged counter = %d, want %d", got, workers*per)
+	}
+}
+
+// TestStripedHistogramMergeEqualsUnsharded is the shard-merge property test:
+// the same value stream fed to an 8-shard histogram and a 1-shard reference
+// must merge to identical bucket-level state — identical count, min, max, and
+// every percentile, and the same sum up to floating-point association.
+func TestStripedHistogramMergeEqualsUnsharded(t *testing.T) {
+	sharded := NewStripedHistogram(8)
+	reference := NewStripedHistogram(1)
+	rng := sim.NewRNG(7)
+	var values []float64
+	for i := 0; i < 5000; i++ {
+		values = append(values, rng.LogNormal(math.Log(0.05), 1.5))
+	}
+	for _, v := range values {
+		sharded.Record(v)
+		reference.Record(v)
+	}
+	ss, rs := sharded.Snapshot(), reference.Snapshot()
+	if ss.Count != rs.Count || ss.Min != rs.Min || ss.Max != rs.Max {
+		t.Fatalf("count/min/max diverge: sharded %+v reference %+v", ss, rs)
+	}
+	for _, p := range []float64{0, 10, 50, 90, 95, 99, 100} {
+		if sp, rp := percentileOf(sharded, p), percentileOf(reference, p); sp != rp {
+			t.Fatalf("p%.0f diverges: sharded %v reference %v", p, sp, rp)
+		}
+	}
+	if diff := math.Abs(ss.Sum - rs.Sum); diff > 1e-9*math.Abs(rs.Sum) {
+		t.Fatalf("sum diverges beyond association error: %v vs %v", ss.Sum, rs.Sum)
+	}
+	if ss.Count != int64(len(values)) {
+		t.Fatalf("count = %d, want %d", ss.Count, len(values))
+	}
+}
+
+func percentileOf(h *StripedHistogram, p float64) float64 {
+	m := h.merge()
+	return m.percentile(p)
+}
+
+// TestStripedHistogramConcurrent: a concurrent feed loses nothing and keeps
+// exact count/min/max and associative-tolerant sum.
+func TestStripedHistogramConcurrent(t *testing.T) {
+	h := NewStripedHistogram(0)
+	const workers, per = 32, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(float64(w*per+i+1) * 1e-4)
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*per {
+		t.Fatalf("count = %d, want %d", s.Count, workers*per)
+	}
+	if s.Min != 1e-4 {
+		t.Fatalf("min = %v, want 1e-4", s.Min)
+	}
+	if want := float64(workers*per) * 1e-4; s.Max != want {
+		t.Fatalf("max = %v, want %v", s.Max, want)
+	}
+	n := float64(workers * per)
+	exact := 1e-4 * n * (n + 1) / 2
+	if diff := math.Abs(s.Sum - exact); diff > 1e-7*exact {
+		t.Fatalf("sum = %v, want ~%v", s.Sum, exact)
+	}
+}
+
+// TestStripedHistogramClamping mirrors Histogram.Record's input policy.
+func TestStripedHistogramClamping(t *testing.T) {
+	h := NewStripedHistogram(2)
+	h.Record(math.NaN())
+	h.Record(-5)
+	h.Record(1e30)
+	s := h.Snapshot()
+	if s.Count != 3 || s.Min != 0 || s.Max != 1e18 {
+		t.Fatalf("clamping broke: %+v", s)
+	}
+}
+
+func TestAtomicGauge(t *testing.T) {
+	var g AtomicGauge
+	if g.Value() != 0 {
+		t.Fatal("zero gauge not 0")
+	}
+	g.Set(1.25)
+	if g.Value() != 1.25 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}

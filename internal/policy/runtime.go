@@ -1,0 +1,82 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// RuntimeClassLimit is the live-runtime admission policy for one service
+// class — the subset of the taxonomy's admission thresholds (Table 2: query
+// cost, MPLs) plus the queue-timeout and retry-batch semantics of the
+// simulated Manager, expressed in wall-clock terms so it can be reloaded into
+// internal/rt while traffic is flowing.
+type RuntimeClassLimit struct {
+	// Class names the service class this limit applies to.
+	Class string `json:"class"`
+	// MaxMPL caps concurrently admitted requests of the class (0 = unlimited).
+	MaxMPL int `json:"max_mpl"`
+	// MaxCostTimerons rejects requests whose estimated cost exceeds the limit
+	// (0 = unlimited).
+	MaxCostTimerons float64 `json:"max_cost_timerons"`
+	// MaxQueueDelayMS rejects requests that have waited in the class queue
+	// longer than this, checked at retry points (0 = wait forever).
+	MaxQueueDelayMS int64 `json:"max_queue_delay_ms"`
+	// RetryBatch caps how many queued requests are re-evaluated per retry
+	// cycle (0 = all) — the gate-open storm bound.
+	RetryBatch int `json:"retry_batch"`
+}
+
+// RuntimePolicy is a reloadable live-runtime policy: per-class limits plus a
+// global concurrency valve.
+type RuntimePolicy struct {
+	// GlobalMaxMPL caps concurrently admitted requests across every class
+	// (0 = unlimited) — the Teradata-style system throttle.
+	GlobalMaxMPL int `json:"global_max_mpl"`
+	// Classes are the per-class limits. A class absent here keeps its
+	// current limits on reload.
+	Classes []RuntimeClassLimit `json:"classes"`
+}
+
+// Validate checks bounds and rejects duplicate class entries.
+func (p *RuntimePolicy) Validate() error {
+	if p.GlobalMaxMPL < 0 {
+		return fmt.Errorf("policy: global_max_mpl %d negative", p.GlobalMaxMPL)
+	}
+	seen := make(map[string]bool, len(p.Classes))
+	for i := range p.Classes {
+		c := &p.Classes[i]
+		if c.Class == "" {
+			return fmt.Errorf("policy: classes[%d] missing class name", i)
+		}
+		if seen[c.Class] {
+			return fmt.Errorf("policy: duplicate class %q", c.Class)
+		}
+		seen[c.Class] = true
+		if c.MaxMPL < 0 {
+			return fmt.Errorf("policy: class %q max_mpl %d negative", c.Class, c.MaxMPL)
+		}
+		if c.MaxCostTimerons < 0 {
+			return fmt.Errorf("policy: class %q max_cost_timerons %v negative", c.Class, c.MaxCostTimerons)
+		}
+		if c.MaxQueueDelayMS < 0 {
+			return fmt.Errorf("policy: class %q max_queue_delay_ms %d negative", c.Class, c.MaxQueueDelayMS)
+		}
+		if c.RetryBatch < 0 {
+			return fmt.Errorf("policy: class %q retry_batch %d negative", c.Class, c.RetryBatch)
+		}
+	}
+	return nil
+}
+
+// ParseRuntimePolicy decodes and validates a JSON policy document — the
+// /policy endpoint's input format.
+func ParseRuntimePolicy(data []byte) (*RuntimePolicy, error) {
+	var p RuntimePolicy
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("policy: %w", err)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}

@@ -1,0 +1,327 @@
+package rt
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dbwlm/internal/admission"
+	"dbwlm/internal/policy"
+	"dbwlm/internal/workload"
+)
+
+func testRuntime(t *testing.T, specs []ClassSpec, opts Options) *Runtime {
+	t.Helper()
+	r, err := New(specs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestGateExactLimit: the striped gate admits exactly maxMPL concurrent
+// holders, no matter how the limit splits across shards.
+func TestGateExactLimit(t *testing.T) {
+	for _, shards := range []int{1, 4, 8} {
+		for _, limit := range []int64{1, 3, 5, 8, 17} {
+			g := newGate(shards, gateLimits{maxMPL: limit})
+			var taken []int32
+			for {
+				s := g.tryEnter()
+				if s < 0 {
+					break
+				}
+				taken = append(taken, s)
+			}
+			if int64(len(taken)) != limit {
+				t.Fatalf("shards=%d limit=%d: admitted %d", shards, limit, len(taken))
+			}
+			if g.occupancy() != limit {
+				t.Fatalf("occupancy %d != limit %d", g.occupancy(), limit)
+			}
+			for _, s := range taken {
+				g.leave(s)
+			}
+			if g.occupancy() != 0 {
+				t.Fatalf("occupancy %d after full release", g.occupancy())
+			}
+		}
+	}
+}
+
+// TestStressConcurrentAdmit is the ≥64-goroutine stress test: concurrent
+// admit/complete cycles against shared gates never exceed the class MPL or
+// the global MPL, lose no request, and drain to zero.
+func TestStressConcurrentAdmit(t *testing.T) {
+	const (
+		workers  = 64
+		perWork  = 200
+		classMPL = 7
+		global   = 11
+	)
+	r := testRuntime(t, []ClassSpec{
+		{Name: "a", Priority: policy.PriorityHigh, MaxMPL: classMPL},
+		{Name: "b", Priority: policy.PriorityLow, MaxMPL: classMPL},
+	}, Options{GlobalMaxMPL: global, RetryEvery: time.Millisecond})
+	r.Start()
+	defer r.Stop()
+
+	var inA, inAll, maxA, maxAll atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			class := ClassID(w % 2)
+			for i := 0; i < perWork; i++ {
+				g := r.Admit(class, 100)
+				if !g.Admitted() {
+					t.Errorf("worker %d: unexpected verdict %v", w, g.Verdict())
+					return
+				}
+				cur := inAll.Add(1)
+				for {
+					m := maxAll.Load()
+					if cur <= m || maxAll.CompareAndSwap(m, cur) {
+						break
+					}
+				}
+				if class == 0 {
+					curA := inA.Add(1)
+					for {
+						m := maxA.Load()
+						if curA <= m || maxA.CompareAndSwap(m, curA) {
+							break
+						}
+					}
+				}
+				if class == 0 {
+					inA.Add(-1)
+				}
+				inAll.Add(-1)
+				r.Done(g, 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m := maxA.Load(); m > classMPL {
+		t.Fatalf("class MPL exceeded: observed %d > %d", m, classMPL)
+	}
+	if m := maxAll.Load(); m > global {
+		t.Fatalf("global MPL exceeded: observed %d > %d", m, global)
+	}
+	if got := r.InEngine(); got != 0 {
+		t.Fatalf("in-engine after drain = %d", got)
+	}
+	total := r.StatsOf(0).Done + r.StatsOf(1).Done
+	if total != workers*perWork {
+		t.Fatalf("completed %d, want %d", total, workers*perWork)
+	}
+	for _, id := range []ClassID{0, 1} {
+		if q := r.QueueLen(id); q != 0 {
+			t.Fatalf("class %d queue not drained: %d", id, q)
+		}
+	}
+}
+
+// TestFIFOWithinClass: waiters admit in enqueue order as slots free up.
+func TestFIFOWithinClass(t *testing.T) {
+	r := testRuntime(t, []ClassSpec{{Name: "c", MaxMPL: 1}}, Options{})
+	holder := r.Admit(0, 0)
+	if !holder.Admitted() {
+		t.Fatal("holder not admitted")
+	}
+	const n = 8
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := r.Admit(0, 0)
+			if !g.Admitted() {
+				t.Errorf("waiter %d: %v", i, g.Verdict())
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			r.Done(g, 0)
+		}(i)
+		// Ensure waiter i is parked before launching waiter i+1, so the
+		// FIFO expectation is well-defined.
+		for r.QueueLen(0) != int64(i+1) {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+	r.Done(holder, 0) // cascade: each Done drains the next waiter
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("admission order %v not FIFO", order)
+		}
+	}
+}
+
+// TestCostThresholdRejects: per-class cost limits reject on the fast path
+// and re-evaluate queued work after a policy tightens.
+func TestCostThresholdRejects(t *testing.T) {
+	r := testRuntime(t, []ClassSpec{{Name: "c", MaxCostTimerons: 500}}, Options{})
+	if g := r.Admit(0, 501); g.Verdict() != RejectedCost {
+		t.Fatalf("over-cost verdict = %v", g.Verdict())
+	}
+	if g := r.Admit(0, 500); !g.Admitted() {
+		t.Fatalf("at-cost verdict = %v", g.Verdict())
+	} else {
+		r.Done(g, 0)
+	}
+	st := r.StatsOf(0)
+	if st.Rejected != 1 || st.Admitted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestPolicyReload: ApplyPolicy swaps limits atomically; the fast path sees
+// them immediately, parked waiters at the next retry cycle (Manager parity).
+func TestPolicyReload(t *testing.T) {
+	r := testRuntime(t, []ClassSpec{{Name: "c", MaxMPL: 1}}, Options{})
+	hold := r.Admit(0, 0)
+	done := make(chan Grant)
+	go func() { done <- r.Admit(0, 0) }()
+	for r.QueueLen(0) != 1 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	if err := r.ApplyPolicy(&policy.RuntimePolicy{Classes: []policy.RuntimeClassLimit{
+		{Class: "c", MaxMPL: 4},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+		t.Fatal("waiter admitted before a retry cycle")
+	case <-time.After(10 * time.Millisecond):
+	}
+	r.RetryNow()
+	g := <-done
+	if !g.Admitted() {
+		t.Fatalf("waiter verdict after reload = %v", g.Verdict())
+	}
+	r.Done(g, 0)
+	r.Done(hold, 0)
+
+	if err := r.ApplyPolicy(&policy.RuntimePolicy{Classes: []policy.RuntimeClassLimit{
+		{Class: "nope", MaxMPL: 1},
+	}}); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+	p := r.Policy()
+	if len(p.Classes) != 1 || p.Classes[0].MaxMPL != 4 {
+		t.Fatalf("rendered policy %+v", p)
+	}
+}
+
+// TestControllersConsumeView: the unchanged threshold/indicator controllers
+// from internal/admission run against the live runtime through the View
+// interface — the snapshot contract of the refactor.
+func TestControllersConsumeView(t *testing.T) {
+	r := testRuntime(t, []ClassSpec{{Name: "c", Priority: policy.PriorityLow}}, Options{})
+	mpl := &admission.MPLThreshold{Engine: r, Max: 2}
+	req := &workload.Request{Priority: policy.PriorityLow}
+	if d := mpl.Decide(req, 0); d != admission.Admit {
+		t.Fatalf("empty runtime: %v", d)
+	}
+	g1, g2 := r.Admit(0, 0), r.Admit(0, 0)
+	if d := mpl.Decide(req, 0); d != admission.Queue {
+		t.Fatalf("full runtime: %v", d)
+	}
+
+	ind := &admission.Indicators{Engine: r}
+	if ind.Congested() {
+		t.Fatal("unloaded runtime congested")
+	}
+	r.SetLoad(1.5, 0, 0.9)
+	if !ind.Congested() {
+		t.Fatal("mem-pressure 1.5 not congested")
+	}
+	if d := ind.Decide(req, 0); d != admission.Queue {
+		t.Fatalf("indicator decision for low-priority: %v", d)
+	}
+
+	cr := &admission.ConflictRatio{Engine: r}
+	r.SetLoad(0, 2.0, 0)
+	if d := cr.Decide(req, 0); d != admission.Queue {
+		t.Fatalf("conflict-ratio decision: %v", d)
+	}
+	r.Done(g1, 0)
+	r.Done(g2, 0)
+}
+
+// TestLowPriorityGate: the congestion flag published by an indicator loop
+// queues low-priority admits on the fast path while high-priority work flows.
+func TestLowPriorityGate(t *testing.T) {
+	r := testRuntime(t, []ClassSpec{
+		{Name: "lo", Priority: policy.PriorityLow},
+		{Name: "hi", Priority: policy.PriorityHigh},
+	}, Options{})
+	r.SetLowPriorityGate(true)
+	if g := r.Admit(1, 0); !g.Admitted() {
+		t.Fatalf("high-priority gated: %v", g.Verdict())
+	} else {
+		r.Done(g, 0)
+	}
+	done := make(chan Grant)
+	go func() { done <- r.Admit(0, 0) }()
+	for r.QueueLen(0) != 1 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	r.SetLowPriorityGate(false)
+	r.RetryNow()
+	if g := <-done; !g.Admitted() {
+		t.Fatalf("low-priority verdict after gate opened: %v", g.Verdict())
+	} else {
+		r.Done(g, 0)
+	}
+}
+
+// TestTokenRoundTrip: wlmd's grant token survives serialization; malformed
+// tokens are refused.
+func TestTokenRoundTrip(t *testing.T) {
+	r := testRuntime(t, []ClassSpec{{Name: "c"}}, Options{})
+	g := r.Admit(0, 0)
+	tok := g.Token()
+	back, err := r.ParseToken(tok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != g {
+		t.Fatalf("round-trip %+v != %+v", back, g)
+	}
+	r.Done(back, 0)
+	for _, bad := range []string{"", "1:2:3", "x:0:0:0", "9:0:0:0", "0:999:0:0"} {
+		if _, err := r.ParseToken(bad); err == nil {
+			t.Fatalf("token %q accepted", bad)
+		}
+	}
+	if (Grant{verdict: RejectedCost}).Token() != "" {
+		t.Fatal("non-admitted grant produced a token")
+	}
+}
+
+// TestVelocityAndLatencyRecorded: Done folds service latency and execution
+// velocity into the striped recorders.
+func TestVelocityAndLatencyRecorded(t *testing.T) {
+	var clock atomic.Int64
+	r := testRuntime(t, []ClassSpec{{Name: "c"}}, Options{Now: clock.Load})
+	g := r.Admit(0, 0)
+	clock.Store(int64(2 * time.Second))
+	r.Done(g, 1.0) // ideal 1s over 2s elapsed -> velocity 0.5
+	st := r.StatsOf(0)
+	if st.Latency.Count != 1 || st.Latency.Mean != 2.0 {
+		t.Fatalf("latency %+v", st.Latency)
+	}
+	if st.Velocity.Count != 1 || st.Velocity.Max > 0.6 || st.Velocity.Max < 0.4 {
+		t.Fatalf("velocity %+v", st.Velocity)
+	}
+}

@@ -1,0 +1,185 @@
+// Package rthttp serves the live workload-management runtime over HTTP: the
+// admission-control layer of the taxonomy as a daemon API. cmd/wlmd wraps it
+// with a class table and flags; examples/wlmd drives it end to end.
+package rthttp
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"dbwlm/internal/admission"
+	"dbwlm/internal/policy"
+	"dbwlm/internal/rt"
+)
+
+// Server is the wlmd HTTP front-end over a live runtime. Clients call
+// POST /admit before running work against the database and POST /done after;
+// the admission verdict — and any queueing — happens here, in front of the
+// engine, exactly as the taxonomy's admission-control layer prescribes.
+type Server struct {
+	rt  *rt.Runtime
+	mux *http.ServeMux
+}
+
+// NewServer wires the endpoints over a runtime.
+func NewServer(r *rt.Runtime) *Server {
+	s := &Server{rt: r, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /admit", s.handleAdmit)
+	s.mux.HandleFunc("POST /done", s.handleDone)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /policy", s.handlePolicyGet)
+	s.mux.HandleFunc("POST /policy", s.handlePolicySet)
+	s.mux.HandleFunc("POST /load", s.handleLoad)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// AdmitResponse is the /admit reply. Token is present only when admitted and
+// must be returned verbatim to /done.
+type AdmitResponse struct {
+	Verdict string `json:"verdict"`
+	Token   string `json:"token,omitempty"`
+}
+
+func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	class, ok := s.rt.Class(r.FormValue("class"))
+	if !ok {
+		httpError(w, http.StatusBadRequest, "unknown class %q", r.FormValue("class"))
+		return
+	}
+	cost := 0.0
+	if v := r.FormValue("cost"); v != "" {
+		var err error
+		if cost, err = strconv.ParseFloat(v, 64); err != nil {
+			httpError(w, http.StatusBadRequest, "bad cost %q", v)
+			return
+		}
+	}
+	// Admit blocks while the request is queued; the client's HTTP request
+	// parks with it, which is the wait queue made visible to the client.
+	g := s.rt.Admit(class, cost)
+	resp := AdmitResponse{Verdict: g.Verdict().String(), Token: g.Token()}
+	status := http.StatusOK
+	if !g.Admitted() {
+		status = http.StatusTooManyRequests
+	}
+	writeJSON(w, status, resp)
+}
+
+func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
+	g, err := s.rt.ParseToken(r.FormValue("token"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ideal := 0.0
+	if v := r.FormValue("ideal"); v != "" {
+		if ideal, err = strconv.ParseFloat(v, 64); err != nil {
+			httpError(w, http.StatusBadRequest, "bad ideal %q", v)
+			return
+		}
+	}
+	s.rt.Done(g, ideal)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+}
+
+// StatsResponse is the /stats reply: the merged-shard monitoring view.
+type StatsResponse struct {
+	InEngine        int             `json:"in_engine"`
+	LowPriorityGate bool            `json:"low_priority_gate"`
+	Classes         []rt.ClassStats `json:"classes"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		InEngine:        s.rt.InEngine(),
+		LowPriorityGate: s.rt.LowPriorityGate(),
+		Classes:         s.rt.Snapshot(),
+	})
+}
+
+func (s *Server) handlePolicyGet(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.rt.Policy())
+}
+
+func (s *Server) handlePolicySet(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	p, err := policy.ParseRuntimePolicy(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.rt.ApplyPolicy(p); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.rt.Policy())
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	mem, err1 := formFloat(r, "mem")
+	conflict, err2 := formFloat(r, "conflict")
+	cpu, err3 := formFloat(r, "cpu")
+	for _, err := range []error{err1, err2, err3} {
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	s.rt.SetLoad(mem, conflict, cpu)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func formFloat(r *http.Request, key string) (float64, error) {
+	v := r.FormValue(key)
+	if v == "" {
+		return 0, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", key, v)
+	}
+	return f, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// RunIndicatorLoop runs the indicator controller (Zhang et al.) against the
+// runtime's View every interval: when the composite load indicators say the
+// engine is congested, the low-priority gate closes; new low-priority work
+// queues until the indicators clear. Returns a stop function.
+func RunIndicatorLoop(r *rt.Runtime, interval time.Duration) (stop func()) {
+	ind := &admission.Indicators{Engine: r}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.SetLowPriorityGate(ind.Congested())
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}

@@ -1,0 +1,53 @@
+#!/bin/sh
+# bench_live.sh — record live-runtime admission performance into
+# BENCH_live.json.
+#
+# Runs BenchmarkLiveAdmit (the lock-free admit/release cycle) at GOMAXPROCS
+# 1/2/4/8 via -cpu, plus the contended-gate and snapshot benchmarks, and
+# writes ns/op, admits/sec, and allocs/op per processor count as
+# machine-readable JSON. num_cpu records the physical parallelism available
+# when the numbers were taken: on a 1-core host the >1 rows measure
+# scheduling overhead, not parallel speedup. Run via `make bench-live`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCH_OUT=$(go test -run '^$' -bench 'BenchmarkLiveAdmit$|BenchmarkLiveAdmitContended$|BenchmarkSnapshot$' \
+	-benchmem -benchtime 300000x -cpu 1,2,4,8 ./internal/rt/)
+
+metric() { # metric <benchmark-name-with-cpu-suffix> <field: ns/op|allocs/op>
+	printf '%s\n' "$BENCH_OUT" | awk -v name="$1" -v field="$2" '
+		$1 == name {
+			for (i = 2; i < NF; i++) if ($(i + 1) == field) { print $i; exit }
+		}'
+}
+
+rows=""
+for P in 1 2 4 8; do
+	# testing omits the -N procs suffix when N is 1.
+	NAME="BenchmarkLiveAdmit-$P"
+	[ "$P" = 1 ] && NAME="BenchmarkLiveAdmit"
+	NS=$(metric "$NAME" "ns/op")
+	ALLOCS=$(metric "$NAME" "allocs/op")
+	RATE=$(awk -v ns="$NS" 'BEGIN { printf "%.0f", 1e9 / ns }')
+	rows="$rows    {\"gomaxprocs\": $P, \"ns_per_op\": $NS, \"admits_per_sec\": $RATE, \"allocs_per_op\": $ALLOCS},\n"
+done
+rows=$(printf '%b' "$rows" | sed '$ s/,$//')
+
+CONT_NS=$(metric "BenchmarkLiveAdmitContended-8" "ns/op")
+SNAP_NS=$(metric "BenchmarkSnapshot-8" "ns/op")
+NUM_CPU=$(nproc 2>/dev/null || echo 1)
+
+cat > BENCH_live.json <<EOF
+{
+  "benchmark": "BenchmarkLiveAdmit (admit+done cycle, open gate)",
+  "num_cpu": $NUM_CPU,
+  "live_admit": [
+$rows
+  ],
+  "contended_gate_ns_per_op": $CONT_NS,
+  "snapshot_ns_per_op": $SNAP_NS
+}
+EOF
+
+cat BENCH_live.json
