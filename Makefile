@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-live
+.PHONY: build test vet race verify bench bench-live bench-predict fuzz-short
 
 build:
 	$(GO) build ./...
@@ -12,7 +12,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/rt/... ./cmd/wlmd/...
+	$(GO) test -race ./internal/experiments/... ./internal/rt/... ./cmd/wlmd/... \
+		./internal/admission/... ./internal/sqlmini/...
 
 # verify is the tier-1 gate: build, vet, full tests, and a race pass over
 # the parallel experiment fan-out and the live runtime.
@@ -24,6 +25,18 @@ bench:
 	./scripts/bench_kernel.sh
 
 # bench-live records live-runtime admission throughput (BenchmarkLiveAdmit at
-# GOMAXPROCS 1/2/4/8, allocs/op) into BENCH_live.json.
+# GOMAXPROCS 1/2/4/8, allocs/op) into BENCH_live.json. Fails if the steady-
+# state admit path ever allocates.
 bench-live:
 	./scripts/bench_live.sh
+
+# bench-predict records the wire-speed prediction pipeline (predict-admit
+# ns/op and allocs, plan-cache hit/miss cost, linear vs indexed k-NN) into
+# BENCH_predict.json.
+bench-predict:
+	./scripts/bench_predict.sh
+
+# fuzz-short smoke-fuzzes the SQL pipeline (lexer/parser/planner/fingerprint)
+# for 10 seconds — enough to shake out panics without stalling CI.
+fuzz-short:
+	$(GO) test -fuzz FuzzParse -fuzztime 10s -run '^$$' ./internal/sqlmini/

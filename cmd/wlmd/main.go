@@ -16,10 +16,12 @@ import (
 	"sync"
 	"time"
 
+	"dbwlm/internal/admission"
 	"dbwlm/internal/policy"
 	"dbwlm/internal/rt"
 	"dbwlm/internal/rthttp"
 	"dbwlm/internal/sim"
+	"dbwlm/internal/sqlmini"
 )
 
 // defaultClasses is the built-in three-tier service-class table: interactive
@@ -43,6 +45,11 @@ func main() {
 		workers    = flag.Int("workers", 64, "selftest: concurrent closed-loop workers")
 		perWorker  = flag.Int("per-worker", 200, "selftest: requests per worker")
 		seed       = flag.Uint64("seed", 1, "selftest: RNG seed")
+
+		predict    = flag.Bool("predict", false, "enable prediction-based admission: /admit accepts raw SQL via the sql= form field")
+		maxBucket  = flag.String("predict-max-bucket", "monster", "predict: largest admissible predicted runtime bucket (short|medium|long|monster)")
+		planCache  = flag.Int("plan-cache", 4096, "predict: fingerprinted plan-cache capacity (entries)")
+		minObserve = flag.Int("predict-min-train", 30, "predict: completions observed before the model starts gating")
 	)
 	flag.Parse()
 
@@ -69,12 +76,29 @@ func main() {
 		return
 	}
 
+	srv := rthttp.NewServer(r)
+	if *predict {
+		bucket, ok := admission.BucketFromName(*maxBucket)
+		if !ok {
+			log.Fatalf("wlmd: unknown -predict-max-bucket %q", *maxBucket)
+		}
+		cache := sqlmini.NewPlanCache(sqlmini.NewCostModel(sqlmini.DefaultCatalog()), *planCache, 0)
+		knn := &admission.KNNPredictor{
+			MaxSeconds:  60,
+			MinTraining: *minObserve,
+			Background:  true, // retrain off the admit path; models swap in atomically
+			Indexed:     true,
+		}
+		srv.EnablePredict(rt.NewPredictGate(r, cache, knn, bucket))
+		log.Printf("wlmd: prediction gate on (max bucket %s, plan cache %d)", bucket, *planCache)
+	}
+
 	r.Start()
 	defer r.Stop()
 	stopInd := rthttp.RunIndicatorLoop(r, 250*time.Millisecond)
 	defer stopInd()
 	log.Printf("wlmd: %d classes, global MPL %d, listening on %s", r.NumClasses(), *globalMPL, *addr)
-	log.Fatal(http.ListenAndServe(*addr, rthttp.NewServer(r)))
+	log.Fatal(http.ListenAndServe(*addr, srv))
 }
 
 // runSelfTest drives the runtime with a closed-loop in-process generator:

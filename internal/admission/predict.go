@@ -2,6 +2,8 @@ package admission
 
 import (
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"dbwlm/internal/learn"
 	"dbwlm/internal/sim"
@@ -22,13 +24,25 @@ const (
 	BucketMonster                      // >= 100s
 )
 
-// String names the bucket.
+// String names the bucket; values outside the defined range (negative or
+// past BucketMonster) render as "unknown".
 func (b RuntimeBucket) String() string {
 	names := []string{"short", "medium", "long", "monster"}
-	if int(b) < len(names) {
+	if b >= 0 && int(b) < len(names) {
 		return names[b]
 	}
 	return "unknown"
+}
+
+// BucketFromName parses a bucket name ("short", "medium", "long",
+// "monster") — the wlmd -predict-max-bucket flag value.
+func BucketFromName(name string) (RuntimeBucket, bool) {
+	for b := BucketShort; b <= BucketMonster; b++ {
+		if b.String() == name {
+			return b, true
+		}
+	}
+	return 0, false
 }
 
 // numBuckets is the label-space size.
@@ -48,21 +62,43 @@ func BucketOf(seconds float64) RuntimeBucket {
 	}
 }
 
-// RequestFeatures extracts the pre-execution features prediction models use
-// (Ganapathi et al. [21]: properties available before a query runs — the
-// statement, its plan, its estimates).
+// NumFeatures is the dimensionality of the pre-execution feature vector.
+const NumFeatures = 5
+
+// FeatureVec is the fixed-size feature array the zero-alloc extraction path
+// fills; f[:] adapts it to the []float64 the models consume.
+type FeatureVec [NumFeatures]float64
+
+// FeaturesFrom fills out with the pre-execution features prediction models
+// use (Ganapathi et al. [21]: properties available before a query runs — its
+// plan's estimates and its statement class). Allocation-free: the live admit
+// path extracts into a stack array.
+func FeaturesFrom(timerons, rows, memMB, ioMB float64, isRead bool, out *FeatureVec) {
+	read := 0.0
+	if isRead {
+		read = 1
+	}
+	out[0] = math.Log1p(timerons)
+	out[1] = math.Log1p(rows)
+	out[2] = math.Log1p(memMB)
+	out[3] = math.Log1p(ioMB)
+	out[4] = read
+}
+
+// RequestFeaturesInto extracts a request's features into out without
+// allocating.
+func RequestFeaturesInto(r *workload.Request, out *FeatureVec) {
+	FeaturesFrom(r.Est.Timerons, r.Est.Rows, r.Est.MemMB, r.Est.IOMB, r.Type == sqlmini.StmtRead, out)
+}
+
+// RequestFeatures extracts the pre-execution features as a fresh slice; the
+// allocation-free path is RequestFeaturesInto.
 func RequestFeatures(r *workload.Request) []float64 {
-	isRead := 0.0
-	if r.Type == sqlmini.StmtRead {
-		isRead = 1
-	}
-	return []float64{
-		math.Log1p(r.Est.Timerons),
-		math.Log1p(r.Est.Rows),
-		math.Log1p(r.Est.MemMB),
-		math.Log1p(r.Est.IOMB),
-		isRead,
-	}
+	var f FeatureVec
+	RequestFeaturesInto(r, &f)
+	out := make([]float64, NumFeatures)
+	copy(out, f[:])
+	return out
 }
 
 // ObservedRun is one training example for the predictors.
@@ -73,7 +109,11 @@ type ObservedRun struct {
 
 // TreePredictor predicts runtime ranges with a decision tree (Gupta PQR).
 // It accumulates observations online and retrains every RetrainEvery
-// completions.
+// completions. The model lives behind an atomic pointer — the decision path
+// is lock-free and never observes a torn tree — and with Background set the
+// retrain itself runs on a goroutine and swaps the pointer when done
+// (mirroring the limits-block reload pattern of internal/rt), so a decision
+// never blocks on training.
 type TreePredictor struct {
 	// MaxBucket is the largest admissible predicted bucket; work predicted
 	// beyond it is queued (or rejected with Reject=true).
@@ -85,10 +125,17 @@ type TreePredictor struct {
 	// MinTraining is the number of observations required before the
 	// predictor starts gating (default 30); before that it admits all.
 	MinTraining int
+	// Background moves retraining onto a goroutine. The simulated path keeps
+	// the default (synchronous, deterministic); the live runtime sets it.
+	Background bool
 
+	mu       sync.Mutex // guards history and sinceFit
 	history  []learn.Sample
-	tree     *learn.DecisionTree
 	sinceFit int
+
+	model      atomic.Pointer[learn.DecisionTree]
+	retraining atomic.Bool
+	retrains   atomic.Int64
 }
 
 // Name implements Controller.
@@ -96,10 +143,13 @@ func (p *TreePredictor) Name() string { return "predict-tree" }
 
 // Decide implements Controller.
 func (p *TreePredictor) Decide(r *workload.Request, _ sim.Time) Decision {
-	if p.tree == nil {
+	t := p.model.Load()
+	if t == nil {
 		return Admit
 	}
-	b := RuntimeBucket(p.tree.Predict(RequestFeatures(r)))
+	var f FeatureVec
+	RequestFeaturesInto(r, &f)
+	b := RuntimeBucket(t.Predict(f[:]))
 	if b <= p.MaxBucket {
 		return Admit
 	}
@@ -109,9 +159,21 @@ func (p *TreePredictor) Decide(r *workload.Request, _ sim.Time) Decision {
 	return Queue
 }
 
+// PredictBucket exposes the predicted runtime range for a feature vector;
+// ok is false before the first model lands.
+func (p *TreePredictor) PredictBucket(f *FeatureVec) (RuntimeBucket, bool) {
+	t := p.model.Load()
+	if t == nil {
+		return BucketShort, false
+	}
+	return RuntimeBucket(t.Predict(f[:])), true
+}
+
 // ObserveCompletion implements CompletionObserver: record the actual runtime
-// and periodically retrain.
+// and periodically retrain (inline, or in the background when Background is
+// set).
 func (p *TreePredictor) ObserveCompletion(r *workload.Request, responseSeconds float64, _ sim.Time) {
+	p.mu.Lock()
 	p.history = append(p.history, learn.Sample{
 		Features: RequestFeatures(r),
 		Label:    int(BucketOf(responseSeconds)),
@@ -125,14 +187,43 @@ func (p *TreePredictor) ObserveCompletion(r *workload.Request, responseSeconds f
 	if every <= 0 {
 		every = 50
 	}
-	if len(p.history) >= min && (p.tree == nil || p.sinceFit >= every) {
-		p.tree = learn.TrainDecisionTree(p.history, numBuckets, learn.TreeConfig{MaxDepth: 8, MinLeafSize: 3})
-		p.sinceFit = 0
+	due := len(p.history) >= min && (p.model.Load() == nil || p.sinceFit >= every)
+	if !due {
+		p.mu.Unlock()
+		return
+	}
+	if p.Background && !p.retraining.CompareAndSwap(false, true) {
+		// A trainer is already in flight; sinceFit keeps accumulating and the
+		// next completion after it lands triggers the following round.
+		p.mu.Unlock()
+		return
+	}
+	p.sinceFit = 0
+	// Snapshot: history only ever grows and samples are immutable once
+	// appended, so the trainer can read a prefix copy without the lock.
+	snap := make([]learn.Sample, len(p.history))
+	copy(snap, p.history)
+	p.mu.Unlock()
+
+	train := func() {
+		p.model.Store(learn.TrainDecisionTree(snap, numBuckets, learn.TreeConfig{MaxDepth: 8, MinLeafSize: 3}))
+		p.retrains.Add(1)
+		if p.Background {
+			p.retraining.Store(false)
+		}
+	}
+	if p.Background {
+		go train()
+	} else {
+		train()
 	}
 }
 
 // Trained reports whether the predictor has fit a model yet.
-func (p *TreePredictor) Trained() bool { return p.tree != nil }
+func (p *TreePredictor) Trained() bool { return p.model.Load() != nil }
+
+// Retrains reports how many models have been fit and swapped in.
+func (p *TreePredictor) Retrains() int64 { return p.retrains.Load() }
 
 // KNNPredictor predicts runtime seconds from the k nearest historical
 // queries in feature space (Ganapathi-style similarity) and gates work whose
@@ -140,6 +231,12 @@ func (p *TreePredictor) Trained() bool { return p.tree != nil }
 // runtime bucket so that a flood of fast transactions cannot evict the few
 // observations of slow queries — the class imbalance that otherwise
 // un-trains the model exactly when it is gating well.
+//
+// The fitted model sits behind an atomic pointer: Decide and Predict are
+// lock-free and torn-read-free however many goroutines call them. With
+// Background set, retraining happens on a goroutine (at most one in flight,
+// CAS-gated) and the finished model — including its k-d tree index when
+// Indexed is set — swaps in atomically.
 type KNNPredictor struct {
 	MaxSeconds float64
 	K          int // default 5
@@ -149,10 +246,20 @@ type KNNPredictor struct {
 	// MaxHistory bounds memory (default 2000, split evenly across runtime
 	// buckets with FIFO eviction within a bucket).
 	MaxHistory int
+	// Background moves retraining onto a goroutine (live runtime); the
+	// simulated path keeps the synchronous, deterministic default.
+	Background bool
+	// Indexed builds the k-d tree index at train time, replacing the O(n)
+	// prediction scan with a pruned search.
+	Indexed bool
 
+	mu       sync.Mutex // guards history and sinceFit
 	history  map[RuntimeBucket][]learn.RegSample
-	model    *learn.KNN
 	sinceFit int
+
+	model      atomic.Pointer[learn.KNN]
+	retraining atomic.Bool
+	retrains   atomic.Int64
 }
 
 // Name implements Controller.
@@ -160,11 +267,13 @@ func (p *KNNPredictor) Name() string { return "predict-knn" }
 
 // Decide implements Controller.
 func (p *KNNPredictor) Decide(r *workload.Request, _ sim.Time) Decision {
-	if p.model == nil {
+	m := p.model.Load()
+	if m == nil {
 		return Admit
 	}
-	pred := p.model.PredictValue(RequestFeatures(r))
-	if pred <= p.MaxSeconds {
+	var f FeatureVec
+	RequestFeaturesInto(r, &f)
+	if m.PredictValue(f[:]) <= p.MaxSeconds {
 		return Admit
 	}
 	if p.Reject {
@@ -175,14 +284,33 @@ func (p *KNNPredictor) Decide(r *workload.Request, _ sim.Time) Decision {
 
 // Predict exposes the model's runtime prediction (0 before training).
 func (p *KNNPredictor) Predict(r *workload.Request) float64 {
-	if p.model == nil {
-		return 0
+	var f FeatureVec
+	RequestFeaturesInto(r, &f)
+	s, _ := p.PredictSeconds(&f)
+	return s
+}
+
+// PredictSeconds predicts the runtime for an extracted feature vector; ok is
+// false before the first model lands. Lock-free and allocation-free — the
+// live admit path calls it on every request.
+func (p *KNNPredictor) PredictSeconds(f *FeatureVec) (seconds float64, ok bool) {
+	m := p.model.Load()
+	if m == nil {
+		return 0, false
 	}
-	return p.model.PredictValue(RequestFeatures(r))
+	return m.PredictValue(f[:]), true
 }
 
 // ObserveCompletion implements CompletionObserver.
 func (p *KNNPredictor) ObserveCompletion(r *workload.Request, responseSeconds float64, _ sim.Time) {
+	var f FeatureVec
+	RequestFeaturesInto(r, &f)
+	p.Observe(&f, responseSeconds)
+}
+
+// Observe records one completed run (features already extracted — the live
+// /done path calls this directly) and retrains at the usual cadence.
+func (p *KNNPredictor) Observe(f *FeatureVec, responseSeconds float64) {
 	maxH := p.MaxHistory
 	if maxH <= 0 {
 		maxH = 2000
@@ -191,6 +319,7 @@ func (p *KNNPredictor) ObserveCompletion(r *workload.Request, responseSeconds fl
 	if perBucket < 1 {
 		perBucket = 1
 	}
+	p.mu.Lock()
 	if p.history == nil {
 		p.history = make(map[RuntimeBucket][]learn.RegSample)
 	}
@@ -199,10 +328,9 @@ func (p *KNNPredictor) ObserveCompletion(r *workload.Request, responseSeconds fl
 	if len(hs) >= perBucket {
 		hs = hs[1:]
 	}
-	p.history[b] = append(hs, learn.RegSample{
-		Features: RequestFeatures(r),
-		Value:    responseSeconds,
-	})
+	features := make([]float64, NumFeatures)
+	copy(features, f[:])
+	p.history[b] = append(hs, learn.RegSample{Features: features, Value: responseSeconds})
 	p.sinceFit++
 	min := p.MinTraining
 	if min <= 0 {
@@ -212,19 +340,52 @@ func (p *KNNPredictor) ObserveCompletion(r *workload.Request, responseSeconds fl
 	if k <= 0 {
 		k = 5
 	}
-	if p.historySize() >= min && (p.model == nil || p.sinceFit >= 25) {
-		// Concatenate buckets in fixed order: k-NN breaks distance ties by
-		// sample position, so a map-order walk would make predictions (and
-		// admission decisions) nondeterministic.
-		var all []learn.RegSample
-		for b := RuntimeBucket(0); b < numBuckets; b++ {
-			all = append(all, p.history[b]...)
+	due := p.historySize() >= min && (p.model.Load() == nil || p.sinceFit >= 25)
+	if !due {
+		p.mu.Unlock()
+		return
+	}
+	if p.Background && !p.retraining.CompareAndSwap(false, true) {
+		p.mu.Unlock()
+		return
+	}
+	p.sinceFit = 0
+	// Concatenate buckets in fixed order: k-NN breaks distance ties by
+	// sample position, so a map-order walk would make predictions (and
+	// admission decisions) nondeterministic. The copy also snapshots history
+	// for the background trainer: bucket slices are re-sliced by trimming but
+	// their samples are immutable, so the snapshot is stable off-lock.
+	all := make([]learn.RegSample, 0, p.historySize())
+	for b := RuntimeBucket(0); b < numBuckets; b++ {
+		all = append(all, p.history[b]...)
+	}
+	p.mu.Unlock()
+
+	train := func() {
+		m := learn.TrainKNN(all, k)
+		if p.Indexed {
+			m.BuildIndex()
 		}
-		p.model = learn.TrainKNN(all, k)
-		p.sinceFit = 0
+		p.model.Store(m)
+		p.retrains.Add(1)
+		if p.Background {
+			p.retraining.Store(false)
+		}
+	}
+	if p.Background {
+		go train()
+	} else {
+		train()
 	}
 }
 
+// Trained reports whether a model has been fit and swapped in.
+func (p *KNNPredictor) Trained() bool { return p.model.Load() != nil }
+
+// Retrains reports how many models have been fit and swapped in.
+func (p *KNNPredictor) Retrains() int64 { return p.retrains.Load() }
+
+// historySize must be called with mu held (or from single-threaded tests).
 func (p *KNNPredictor) historySize() int {
 	n := 0
 	for _, hs := range p.history {

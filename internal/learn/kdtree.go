@@ -1,0 +1,221 @@
+package learn
+
+import (
+	"math"
+	"sort"
+)
+
+// This file replaces KNN.PredictValue's O(n) scan with a k-d tree over the
+// normalized feature space. The tree stores sample indices; distances are
+// computed with exactly the same weighted metric as the linear scan
+// (KNN.dist), neighbours are selected under the same (distance, sample-index)
+// total order, and the selected values are summed in the same (ascending
+// sample-index) order — so an indexed prediction is bit-for-bit identical to
+// the linear one, which the equivalence test pins. The search path performs
+// no heap allocation for k <= kMaxNeighbors: the k-best set and the traversal
+// live in fixed-size stack arrays.
+
+// kMaxNeighbors bounds the allocation-free k-best set; larger k falls back to
+// the (allocating) sort-based linear path.
+const kMaxNeighbors = 32
+
+// kdMaxDepth bounds the explicit traversal stack. The tree is median-split
+// and therefore balanced: depth is ceil(log2(n))+1, so 64 covers any n that
+// fits in memory.
+const kdMaxDepth = 64
+
+type kdNode struct {
+	idx         int32 // sample index stored at this node (the split point)
+	left, right int32 // child node indices, -1 when absent
+	split       int16 // split dimension
+}
+
+type kdTree struct {
+	nodes []kdNode
+	root  int32
+}
+
+// better reports whether neighbour (d1,i1) ranks before (d2,i2): nearer
+// first, distance ties broken by sample position. This total order is what
+// makes the k-nearest set unique and both predict paths identical.
+func better(d1 float64, i1 int32, d2 float64, i2 int32) bool {
+	return d1 < d2 || (d1 == d2 && i1 < i2)
+}
+
+// kbest is the bounded best-k accumulator. wi tracks the worst element once
+// the set is full, so add is O(1) amortized with an O(k) rescan on replace.
+type kbest struct {
+	k, n int
+	wi   int
+	d    [kMaxNeighbors]float64
+	idx  [kMaxNeighbors]int32
+}
+
+func (b *kbest) init(k int) { b.k, b.n, b.wi = k, 0, 0 }
+
+// bound is the pruning radius: the worst kept distance, or +Inf while the set
+// is not yet full.
+func (b *kbest) bound() float64 {
+	if b.n < b.k {
+		return math.Inf(1)
+	}
+	return b.d[b.wi]
+}
+
+func (b *kbest) findWorst() {
+	b.wi = 0
+	for i := 1; i < b.n; i++ {
+		if better(b.d[b.wi], b.idx[b.wi], b.d[i], b.idx[i]) {
+			b.wi = i
+		}
+	}
+}
+
+func (b *kbest) add(d float64, idx int32) {
+	if b.n < b.k {
+		b.d[b.n], b.idx[b.n] = d, idx
+		b.n++
+		if b.n == b.k {
+			b.findWorst()
+		}
+		return
+	}
+	if better(d, idx, b.d[b.wi], b.idx[b.wi]) {
+		b.d[b.wi], b.idx[b.wi] = d, idx
+		b.findWorst()
+	}
+}
+
+// mean sums the selected values in ascending sample-index order — a fixed
+// float addition order shared by both predict paths — and divides by the
+// count.
+func (b *kbest) mean(samples []RegSample) float64 {
+	// Insertion sort by sample index; k is small.
+	for i := 1; i < b.n; i++ {
+		for j := i; j > 0 && b.idx[j-1] > b.idx[j]; j-- {
+			b.idx[j-1], b.idx[j] = b.idx[j], b.idx[j-1]
+			b.d[j-1], b.d[j] = b.d[j], b.d[j-1]
+		}
+	}
+	var sum float64
+	for i := 0; i < b.n; i++ {
+		sum += samples[b.idx[i]].Value
+	}
+	return sum / float64(b.n)
+}
+
+// buildKD constructs the tree over the model's samples: median split on the
+// dimension with the largest normalized spread in each subset, subsets sorted
+// by (feature value, sample index) so construction is deterministic.
+func buildKD(m *KNN) *kdTree {
+	n := len(m.samples)
+	t := &kdTree{nodes: make([]kdNode, 0, n)}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	t.root = t.build(m, order)
+	return t
+}
+
+// splitDim picks the dimension with the widest normalized spread over the
+// subset; -1 when every dimension is degenerate (identical points in the
+// weighted space), in which case any split works and dimension 0 is used.
+func splitDim(m *KNN, subset []int32) int {
+	dims := len(m.lo)
+	bestDim, bestSpread := -1, 0.0
+	for d := 0; d < dims; d++ {
+		span := m.hi[d] - m.lo[d]
+		if span <= 0 {
+			continue
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, i := range subset {
+			v := m.samples[i].Features[d]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if spread := (hi - lo) / span; spread > bestSpread {
+			bestSpread, bestDim = spread, d
+		}
+	}
+	if bestDim < 0 {
+		return 0
+	}
+	return bestDim
+}
+
+func (t *kdTree) build(m *KNN, subset []int32) int32 {
+	if len(subset) == 0 {
+		return -1
+	}
+	d := splitDim(m, subset)
+	sort.Slice(subset, func(a, b int) bool {
+		va := m.samples[subset[a]].Features[d]
+		vb := m.samples[subset[b]].Features[d]
+		return va < vb || (va == vb && subset[a] < subset[b])
+	})
+	mid := len(subset) / 2
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, kdNode{idx: subset[mid], split: int16(d)})
+	// Children are built after the node is appended; the slice may move, so
+	// indices are written through t.nodes[id] afterwards.
+	left := t.build(m, subset[:mid])
+	right := t.build(m, subset[mid+1:])
+	t.nodes[id].left, t.nodes[id].right = left, right
+	return id
+}
+
+// predict runs the pruned search: descend to the near side first, visit the
+// far side only if the splitting plane is strictly closer than the current
+// bound (ties must descend — an equal-distance sample with a smaller index
+// can still displace the worst neighbour).
+func (t *kdTree) predict(m *KNN, features []float64) float64 {
+	var b kbest
+	b.init(min(m.k, len(m.samples)))
+	// Explicit traversal stack: {node, deferred far child, plane distance}.
+	type frame struct {
+		node int32
+	}
+	var stack [kdMaxDepth * 2]frame
+	var plane [kdMaxDepth * 2]float64 // squared plane distance gating the frame; <0 = unconditional
+	top := 0
+	push := func(node int32, pd2 float64) {
+		if node >= 0 {
+			stack[top] = frame{node}
+			plane[top] = pd2
+			top++
+		}
+	}
+	push(t.root, -1)
+	for top > 0 {
+		top--
+		f := stack[top]
+		pd2 := plane[top]
+		if pd2 >= 0 && pd2 > b.bound() {
+			continue // plane moved out of range since the frame was deferred
+		}
+		nd := &t.nodes[f.node]
+		s := m.samples[nd.idx].Features
+		b.add(m.dist(features, s), nd.idx)
+		d := int(nd.split)
+		span := m.hi[d] - m.lo[d]
+		var pd float64
+		if span > 0 {
+			pd = (features[d] - s[d]) / span
+		}
+		near, far := nd.left, nd.right
+		if pd > 0 {
+			near, far = nd.right, nd.left
+		}
+		// Far side first onto the stack (visited later), gated by the plane
+		// distance; near side on top (visited next), unconditional.
+		push(far, pd*pd)
+		push(near, -1)
+	}
+	return b.mean(m.samples)
+}

@@ -292,11 +292,14 @@ func bestSplit(samples []Sample, classes int) (feat int, thr float64, gain float
 // ---------- k-nearest neighbours ----------
 
 // KNN is a k-nearest-neighbour regressor/classifier with per-dimension
-// min-max normalization.
+// min-max normalization. BuildIndex adds a k-d tree over the samples so
+// prediction prunes the scan instead of examining every sample; indexed and
+// linear predictions are bit-identical (see kdtree.go).
 type KNN struct {
 	k       int
 	samples []RegSample
 	lo, hi  []float64
+	tree    *kdTree
 }
 
 // TrainKNN stores the samples and fits the normalization ranges.
@@ -338,24 +341,65 @@ func (m *KNN) dist(a, b []float64) float64 {
 	return d2
 }
 
-// PredictValue returns the mean value of the k nearest samples.
+// BuildIndex constructs the k-d tree over the trained samples. Predictions
+// through the index are identical to the linear scan; only their cost
+// changes. Call once after TrainKNN; the model is read-only afterwards and
+// safe for concurrent prediction.
+func (m *KNN) BuildIndex() { m.tree = buildKD(m) }
+
+// Indexed reports whether the k-d tree has been built.
+func (m *KNN) Indexed() bool { return m.tree != nil }
+
+// Len reports the number of training samples.
+func (m *KNN) Len() int { return len(m.samples) }
+
+// TrainKNNIndexed trains the model and builds its k-d tree in one step.
+func TrainKNNIndexed(samples []RegSample, k int) *KNN {
+	m := TrainKNN(samples, k)
+	m.BuildIndex()
+	return m
+}
+
+// PredictValue returns the mean value of the k nearest samples (nearest by
+// normalized distance, distance ties broken by sample position). With a
+// built index the k-d tree prunes the search and the call performs no heap
+// allocation for k <= kMaxNeighbors; otherwise the samples are scanned
+// linearly. Both paths return bit-identical results.
 func (m *KNN) PredictValue(features []float64) float64 {
+	if m.tree != nil && m.k <= kMaxNeighbors {
+		return m.tree.predict(m, features)
+	}
+	return m.PredictValueLinear(features)
+}
+
+// PredictValueLinear is the exhaustive-scan reference implementation; the
+// equivalence test pins PredictValue against it.
+func (m *KNN) PredictValueLinear(features []float64) float64 {
+	if m.k <= kMaxNeighbors {
+		var b kbest
+		b.init(min(m.k, len(m.samples)))
+		for i := range m.samples {
+			b.add(m.dist(features, m.samples[i].Features), int32(i))
+		}
+		return b.mean(m.samples)
+	}
+	// Large k: full sort under the same (distance, index) order, summed in
+	// ascending index order.
 	type nd struct {
-		d float64
-		v float64
+		d   float64
+		idx int32
 	}
 	nds := make([]nd, 0, len(m.samples))
-	for _, s := range m.samples {
-		nds = append(nds, nd{m.dist(features, s.Features), s.Value})
+	for i, s := range m.samples {
+		nds = append(nds, nd{m.dist(features, s.Features), int32(i)})
 	}
-	sort.Slice(nds, func(i, j int) bool { return nds[i].d < nds[j].d })
-	k := m.k
-	if k > len(nds) {
-		k = len(nds)
-	}
+	sort.Slice(nds, func(i, j int) bool { return better(nds[i].d, nds[i].idx, nds[j].d, nds[j].idx) })
+	k := min(m.k, len(nds))
+	sel := nds[:k]
+	sort.Slice(sel, func(i, j int) bool { return sel[i].idx < sel[j].idx })
 	var sum float64
-	for i := 0; i < k; i++ {
-		sum += nds[i].v
+	for _, n := range sel {
+		sum += m.samples[n.idx].Value
 	}
 	return sum / float64(k)
 }

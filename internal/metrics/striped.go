@@ -210,10 +210,19 @@ func (h *StripedHistogram) merge() merged {
 	m := merged{min: math.Inf(1), max: math.Inf(-1)}
 	for i := range h.shards {
 		s := &h.shards[i]
+		c := s.count.Load()
+		if c == 0 {
+			// Idle shard: nothing recorded, so its buckets/sum/min/max are at
+			// their zero state and the bucket walk can be skipped — most
+			// shards of most histograms in a Snapshot are empty. A Record
+			// racing the load is deferred to the next merge, within the
+			// merged view's existing cross-field looseness.
+			continue
+		}
 		for b := range s.buckets {
 			m.buckets[b] += s.buckets[b].Load()
 		}
-		m.count += s.count.Load()
+		m.count += c
 		m.sum += math.Float64frombits(s.sumBits.Load())
 		if v := math.Float64frombits(s.minBits.Load()); v < m.min {
 			m.min = v

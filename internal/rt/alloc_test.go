@@ -36,3 +36,33 @@ func TestSteadyStateAdmitZeroAlloc(t *testing.T) {
 		t.Fatalf("in-engine %d after balanced admit/release", got)
 	}
 }
+
+// TestSnapshotIntoZeroAlloc pins the monitoring loop's scratch-buffer path:
+// once the buffer is warm, repeated snapshots allocate nothing (ClassStats is
+// all scalars plus interned strings; the merged histogram state lives on the
+// stack).
+func TestSnapshotIntoZeroAlloc(t *testing.T) {
+	r, err := New([]ClassSpec{
+		{Name: "a", Priority: policy.PriorityHigh, MaxMPL: 64},
+		{Name: "b", Priority: policy.PriorityLow, MaxMPL: 64},
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		r.Done(r.Admit(ClassID(i%2), 10), 0.001)
+	}
+	buf := r.SnapshotInto(nil)
+	if len(buf) != 2 || buf[0].Class != "a" || buf[0].Done != 50 {
+		t.Fatalf("snapshot %+v", buf)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		buf = r.SnapshotInto(buf)
+	}); avg != 0 {
+		t.Fatalf("warm SnapshotInto allocates %v allocs/op, want 0", avg)
+	}
+	// A short buffer grows rather than truncating.
+	if got := r.SnapshotInto(make([]ClassStats, 0, 1)); len(got) != 2 {
+		t.Fatalf("short-buffer snapshot has %d classes, want 2", len(got))
+	}
+}

@@ -1,0 +1,145 @@
+package rt
+
+import (
+	"dbwlm/internal/admission"
+	"dbwlm/internal/metrics"
+	"dbwlm/internal/sqlmini"
+	"dbwlm/internal/workload"
+)
+
+// Prediction is the wire-speed forecast attached to an admission decision:
+// everything the gate learned about the statement before deciding. Plain data
+// — the predict-admit path allocates nothing.
+type Prediction struct {
+	// Timerons is the optimizer cost estimate derived from the (possibly
+	// cached) plan.
+	Timerons float64
+	// Seconds is the k-NN predicted service time; meaningful only when
+	// Modeled is true.
+	Seconds float64
+	// Bucket classifies Seconds into the paper's runtime buckets.
+	Bucket admission.RuntimeBucket
+	// Modeled reports whether a trained model produced Seconds; before the
+	// predictor has seen MinTraining completions the gate falls back to
+	// cost-only admission.
+	Modeled bool
+	// CacheHit reports whether the plan came from the fingerprint cache.
+	CacheHit bool
+}
+
+// PredictGate composes the wire-speed admission pipeline over a Runtime:
+// fingerprint-cache plan lookup → feature extraction → k-NN runtime
+// prediction → bucket gate → the runtime's cost/MPL admission. Statements
+// whose predicted runtime bucket exceeds MaxBucket are rejected with
+// RejectedPredicted before they take a slot — the paper's prediction-based
+// admission control running against raw SQL.
+//
+// The steady-state path (cache hit, trained model, open gate) is lock-free
+// and allocation-free end to end.
+type PredictGate struct {
+	rt        *Runtime
+	cache     *sqlmini.PlanCache
+	knn       *admission.KNNPredictor
+	maxBucket admission.RuntimeBucket
+
+	predicted *metrics.StripedHistogram // predicted seconds on modeled admits
+	gated     *metrics.StripedCounter   // RejectedPredicted count
+	unmodeled *metrics.StripedCounter   // decisions taken without a model
+}
+
+// NewPredictGate wires a prediction gate over the runtime. maxBucket is the
+// largest admissible predicted bucket (BucketMonster admits everything the
+// cost limits allow, i.e. disables the bucket gate).
+func NewPredictGate(r *Runtime, cache *sqlmini.PlanCache, knn *admission.KNNPredictor, maxBucket admission.RuntimeBucket) *PredictGate {
+	shards := defaultShards()
+	return &PredictGate{
+		rt:        r,
+		cache:     cache,
+		knn:       knn,
+		maxBucket: maxBucket,
+		predicted: metrics.NewStripedHistogram(shards),
+		gated:     metrics.NewStripedCounter(shards),
+		unmodeled: metrics.NewStripedCounter(shards),
+	}
+}
+
+// MaxBucket reports the configured bucket ceiling.
+func (g *PredictGate) MaxBucket() admission.RuntimeBucket { return g.maxBucket }
+
+// AdmitSQL runs one raw SQL statement through the full prediction pipeline.
+// A non-nil error means the statement did not parse; a RejectedPredicted
+// grant means the model forecast a runtime beyond MaxBucket. Admitted grants
+// must be released via Done (or ObserveDone, to also feed the model).
+func (g *PredictGate) AdmitSQL(class ClassID, sql string) (Grant, Prediction, error) {
+	e, hit, err := g.cache.PlanInfo(sql)
+	if err != nil {
+		return Grant{}, Prediction{}, err
+	}
+	pred := Prediction{
+		Timerons: workload.TimeronsOf(e.Cost.CPUSeconds, e.Cost.IOMB),
+		CacheHit: hit,
+	}
+	var f admission.FeatureVec
+	admission.FeaturesFrom(pred.Timerons, e.Cost.Rows, e.Cost.MemMB, e.Cost.IOMB,
+		e.Cost.Type == sqlmini.StmtRead, &f)
+	if s, ok := g.knn.PredictSeconds(&f); ok {
+		pred.Seconds, pred.Bucket, pred.Modeled = s, admission.BucketOf(s), true
+		if pred.Bucket > g.maxBucket {
+			g.gated.Inc()
+			g.rt.classes[class].rejected.Inc()
+			return Grant{verdict: RejectedPredicted, class: class}, pred, nil
+		}
+		g.predicted.Record(s)
+	} else {
+		g.unmodeled.Inc()
+	}
+	return g.rt.Admit(class, pred.Timerons), pred, nil
+}
+
+// ObserveDone releases an admitted grant and feeds the observed service time
+// back into the predictor, re-resolving the statement's features through the
+// cache (a hit for any statement recently admitted). This is the /done path:
+// the grant token plus the original SQL is all the client carries.
+func (g *PredictGate) ObserveDone(grant Grant, sql string) {
+	seconds := g.rt.ElapsedSeconds(grant)
+	g.rt.Done(grant, 0)
+	g.Observe(sql, seconds)
+}
+
+// Observe feeds one completed (sql, seconds) observation into the predictor
+// without touching the runtime — the training half of ObserveDone, also
+// usable for offline warm-up.
+func (g *PredictGate) Observe(sql string, seconds float64) {
+	e, _, err := g.cache.PlanInfo(sql)
+	if err != nil {
+		return
+	}
+	var f admission.FeatureVec
+	admission.FeaturesFrom(workload.TimeronsOf(e.Cost.CPUSeconds, e.Cost.IOMB),
+		e.Cost.Rows, e.Cost.MemMB, e.Cost.IOMB, e.Cost.Type == sqlmini.StmtRead, &f)
+	g.knn.Observe(&f, seconds)
+}
+
+// PredictStats is the merged monitoring view of the prediction pipeline.
+type PredictStats struct {
+	Cache     sqlmini.CacheStats `json:"cache"`
+	Gated     int64              `json:"gated"`
+	Unmodeled int64              `json:"unmodeled"`
+	Predicted metrics.Snapshot   `json:"predicted_seconds"`
+	Retrains  int64              `json:"retrains"`
+	Trained   bool               `json:"trained"`
+	MaxBucket string             `json:"max_bucket"`
+}
+
+// Stats merges the gate's stripes and the plan cache's shards.
+func (g *PredictGate) Stats() PredictStats {
+	return PredictStats{
+		Cache:     g.cache.Stats(),
+		Gated:     g.gated.Value(),
+		Unmodeled: g.unmodeled.Value(),
+		Predicted: g.predicted.Snapshot(),
+		Retrains:  g.knn.Retrains(),
+		Trained:   g.knn.Trained(),
+		MaxBucket: g.maxBucket.String(),
+	}
+}

@@ -65,6 +65,9 @@ const (
 	RejectedCost
 	// RejectedTimeout: queued longer than MaxQueueDelay.
 	RejectedTimeout
+	// RejectedPredicted: the prediction gate forecast a runtime beyond the
+	// admissible bucket (PredictGate).
+	RejectedPredicted
 )
 
 // String names the verdict.
@@ -76,6 +79,8 @@ func (v Verdict) String() string {
 		return "rejected-cost"
 	case RejectedTimeout:
 		return "rejected-timeout"
+	case RejectedPredicted:
+		return "rejected-predicted"
 	default:
 		return fmt.Sprintf("Verdict(%d)", int(v))
 	}
@@ -228,6 +233,15 @@ func (r *Runtime) NumClasses() int { return len(r.classes) }
 
 // NowNanos reads the runtime's monotonic clock.
 func (r *Runtime) NowNanos() int64 { return r.now() }
+
+// ElapsedSeconds reports how long an admitted Grant has been held — the
+// service time the /done path feeds back into the prediction models.
+func (r *Runtime) ElapsedSeconds(g Grant) float64 {
+	if g.verdict != Admitted {
+		return 0
+	}
+	return float64(r.now()-g.start) / 1e9
+}
 
 // Admit runs one request through the admission gate, blocking while it is
 // queued. The steady-state path — gate open, no waiters — is lock-free and
@@ -521,12 +535,21 @@ func (r *Runtime) StatsOf(id ClassID) ClassStats {
 }
 
 // Snapshot merges every class in class-ID order.
-func (r *Runtime) Snapshot() []ClassStats {
-	out := make([]ClassStats, len(r.classes))
-	for i := range r.classes {
-		out[i] = r.StatsOf(ClassID(i))
+func (r *Runtime) Snapshot() []ClassStats { return r.SnapshotInto(nil) }
+
+// SnapshotInto fills buf with the merged per-class view, reusing its backing
+// array when it is large enough — the monitoring loop's scratch-buffer path,
+// which allocates nothing once the buffer is warm (nil or short buffers grow
+// as Snapshot would).
+func (r *Runtime) SnapshotInto(buf []ClassStats) []ClassStats {
+	if cap(buf) < len(r.classes) {
+		buf = make([]ClassStats, len(r.classes))
 	}
-	return out
+	buf = buf[:len(r.classes)]
+	for i := range r.classes {
+		buf[i] = r.StatsOf(ClassID(i))
+	}
+	return buf
 }
 
 // QueueLen reports the number of waiters parked in one class queue.

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"dbwlm/internal/admission"
@@ -21,8 +22,13 @@ import (
 // the admission verdict — and any queueing — happens here, in front of the
 // engine, exactly as the taxonomy's admission-control layer prescribes.
 type Server struct {
-	rt  *rt.Runtime
-	mux *http.ServeMux
+	rt      *rt.Runtime
+	predict *rt.PredictGate
+	mux     *http.ServeMux
+
+	// statsBuf recycles snapshot scratch buffers across /stats requests so
+	// the monitoring read does not allocate a fresh per-class slice each poll.
+	statsBuf sync.Pool
 }
 
 // NewServer wires the endpoints over a runtime.
@@ -37,14 +43,27 @@ func NewServer(r *rt.Runtime) *Server {
 	return s
 }
 
+// EnablePredict attaches a prediction gate: /admit accepts a raw `sql` form
+// field (fingerprinted, planned, and runtime-predicted before admission) and
+// /done with the same `sql` feeds the observed service time back into the
+// model. Call before serving traffic.
+func (s *Server) EnablePredict(g *rt.PredictGate) { s.predict = g }
+
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
 // AdmitResponse is the /admit reply. Token is present only when admitted and
-// must be returned verbatim to /done.
+// must be returned verbatim to /done. The prediction fields are populated
+// only on the raw-SQL path of a predict-enabled server.
 type AdmitResponse struct {
 	Verdict string `json:"verdict"`
 	Token   string `json:"token,omitempty"`
+
+	Cost             float64 `json:"cost,omitempty"`
+	PredictedSeconds float64 `json:"predicted_seconds,omitempty"`
+	PredictedBucket  string  `json:"predicted_bucket,omitempty"`
+	Modeled          bool    `json:"modeled,omitempty"`
+	CacheHit         bool    `json:"cache_hit,omitempty"`
 }
 
 func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
@@ -53,18 +72,40 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "unknown class %q", r.FormValue("class"))
 		return
 	}
-	cost := 0.0
-	if v := r.FormValue("cost"); v != "" {
-		var err error
-		if cost, err = strconv.ParseFloat(v, 64); err != nil {
-			httpError(w, http.StatusBadRequest, "bad cost %q", v)
+	var (
+		g    rt.Grant
+		resp AdmitResponse
+	)
+	if sql := r.FormValue("sql"); sql != "" && s.predict != nil {
+		// Wire-speed path: the statement itself is the cost estimate.
+		grant, pred, err := s.predict.AdmitSQL(class, sql)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "sql: %v", err)
 			return
 		}
+		g = grant
+		resp.Cost = pred.Timerons
+		resp.Modeled = pred.Modeled
+		resp.CacheHit = pred.CacheHit
+		if pred.Modeled {
+			resp.PredictedSeconds = pred.Seconds
+			resp.PredictedBucket = pred.Bucket.String()
+		}
+	} else {
+		cost := 0.0
+		if v := r.FormValue("cost"); v != "" {
+			var err error
+			if cost, err = strconv.ParseFloat(v, 64); err != nil {
+				httpError(w, http.StatusBadRequest, "bad cost %q", v)
+				return
+			}
+		}
+		// Admit blocks while the request is queued; the client's HTTP request
+		// parks with it, which is the wait queue made visible to the client.
+		g = s.rt.Admit(class, cost)
 	}
-	// Admit blocks while the request is queued; the client's HTTP request
-	// parks with it, which is the wait queue made visible to the client.
-	g := s.rt.Admit(class, cost)
-	resp := AdmitResponse{Verdict: g.Verdict().String(), Token: g.Token()}
+	resp.Verdict = g.Verdict().String()
+	resp.Token = g.Token()
 	status := http.StatusOK
 	if !g.Admitted() {
 		status = http.StatusTooManyRequests
@@ -85,23 +126,42 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.rt.Done(g, ideal)
+	if sql := r.FormValue("sql"); sql != "" && s.predict != nil {
+		// Stateless feedback: the client echoes the statement and the server
+		// re-resolves its features through the plan cache (a guaranteed hit
+		// for anything recently admitted), then trains on the elapsed time.
+		elapsed := s.rt.ElapsedSeconds(g)
+		s.rt.Done(g, ideal)
+		s.predict.Observe(sql, elapsed)
+	} else {
+		s.rt.Done(g, ideal)
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
 }
 
 // StatsResponse is the /stats reply: the merged-shard monitoring view.
+// Predict is present only on a predict-enabled server.
 type StatsResponse struct {
-	InEngine        int             `json:"in_engine"`
-	LowPriorityGate bool            `json:"low_priority_gate"`
-	Classes         []rt.ClassStats `json:"classes"`
+	InEngine        int              `json:"in_engine"`
+	LowPriorityGate bool             `json:"low_priority_gate"`
+	Classes         []rt.ClassStats  `json:"classes"`
+	Predict         *rt.PredictStats `json:"predict,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, StatsResponse{
+	buf, _ := s.statsBuf.Get().([]rt.ClassStats)
+	classes := s.rt.SnapshotInto(buf)
+	resp := StatsResponse{
 		InEngine:        s.rt.InEngine(),
 		LowPriorityGate: s.rt.LowPriorityGate(),
-		Classes:         s.rt.Snapshot(),
-	})
+		Classes:         classes,
+	}
+	if s.predict != nil {
+		st := s.predict.Stats()
+		resp.Predict = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
+	s.statsBuf.Put(classes[:0])
 }
 
 func (s *Server) handlePolicyGet(w http.ResponseWriter, r *http.Request) {

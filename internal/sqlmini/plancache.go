@@ -1,0 +1,186 @@
+package sqlmini
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// PlanCost is the memoized scalar cost summary of a plan — everything the
+// admission layer consumes — so a cache hit never re-walks the operator tree
+// (Plan.Operators allocates; the hit path must not).
+type PlanCost struct {
+	CPUSeconds float64
+	IOMB       float64
+	MemMB      float64
+	Rows       float64
+	StateMB    float64
+	Type       StatementType
+}
+
+// CostOf summarizes a plan into its scalar costs.
+func CostOf(p *Plan) PlanCost {
+	return PlanCost{
+		CPUSeconds: p.TotalCPU(),
+		IOMB:       p.TotalIO(),
+		MemMB:      p.PeakMem(),
+		Rows:       p.EstRows(),
+		StateMB:    p.TotalState(),
+		Type:       p.Stmt.Type,
+	}
+}
+
+// CachedPlan is one interned query shape: the plan built for the first
+// statement instance seen with this fingerprint, plus its memoized costs.
+// Cached plans are shared across callers and must be treated as read-only.
+type CachedPlan struct {
+	FP   Fingerprint
+	Plan *Plan
+	Cost PlanCost
+
+	touch atomic.Int64 // shard LRU clock at last hit
+}
+
+// planShardCap bounds how many entries one shard holds; eviction is
+// approximate-LRU within the shard (the entry with the oldest touch tick
+// goes). Sizing note: capacity is split evenly across shards, so per-shard
+// capacity stays small and the miss path's copy-on-write map clone is cheap
+// next to the parse+plan it just paid for.
+type planShard struct {
+	// entries is copy-on-write: readers load the pointer and index the
+	// immutable map with no lock; writers clone under mu and swap. Keyed by
+	// Fingerprint.Lo; the entry stores the full 128-bit fingerprint and the
+	// reader compares it, so a Lo collision inside a shard reads as a miss.
+	entries atomic.Pointer[map[uint64]*CachedPlan]
+	mu      sync.Mutex
+	clock   atomic.Int64 // per-shard LRU tick (global clock would share a line)
+	hits    atomic.Int64
+	misses  atomic.Int64
+	_       [88]byte // pad to 128B so adjacent shards never share a cache line
+}
+
+// PlanCache interns normalized SQL: repeated query shapes skip lexing,
+// parsing, and plan building entirely, returning the memoized plan and cost
+// in a few fingerprint-hash plus map-probe nanoseconds with zero allocation.
+// The read path is lock-free (atomic pointer load of an immutable per-shard
+// map); only misses serialize, per shard, while inserting.
+type PlanCache struct {
+	model  *CostModel
+	shards []planShard
+	mask   uint32
+	cap    int // per-shard entry cap
+}
+
+// NewPlanCache builds a cache over the cost model. capacity is the total
+// entry budget (default 4096), shards the stripe count (rounded up to a power
+// of two, default 8).
+func NewPlanCache(model *CostModel, capacity, shards int) *PlanCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	if shards <= 0 {
+		shards = 8
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := capacity / n
+	if per < 1 {
+		per = 1
+	}
+	c := &PlanCache{model: model, shards: make([]planShard, n), mask: uint32(n - 1), cap: per}
+	for i := range c.shards {
+		m := make(map[uint64]*CachedPlan)
+		c.shards[i].entries.Store(&m)
+	}
+	return c
+}
+
+// shardOf picks the home shard from the high lane so the map key (the low
+// lane) stays fully discriminating within the shard.
+func (c *PlanCache) shardOf(fp Fingerprint) *planShard {
+	return &c.shards[uint32(fp.Hi)&c.mask]
+}
+
+// Lookup returns the cached plan for a fingerprint, or nil. Allocation-free.
+func (c *PlanCache) Lookup(fp Fingerprint) *CachedPlan {
+	sh := c.shardOf(fp)
+	if e := (*sh.entries.Load())[fp.Lo]; e != nil && e.FP == fp {
+		e.touch.Store(sh.clock.Add(1))
+		sh.hits.Add(1)
+		return e
+	}
+	sh.misses.Add(1)
+	return nil
+}
+
+// Plan resolves one SQL statement through the cache: fingerprint, lock-free
+// lookup, and on miss parse+plan+insert. The returned CachedPlan is shared —
+// read-only to callers.
+func (c *PlanCache) Plan(sql string) (*CachedPlan, error) {
+	e, _, err := c.PlanInfo(sql)
+	return e, err
+}
+
+// PlanInfo is Plan plus whether the statement hit the cache.
+func (c *PlanCache) PlanInfo(sql string) (entry *CachedPlan, hit bool, err error) {
+	fp := FingerprintSQL(sql)
+	if e := c.Lookup(fp); e != nil {
+		return e, true, nil
+	}
+	// Miss: build outside the shard lock. Concurrent misses on the same shape
+	// may plan twice; last store wins and both results are identical.
+	p, err := c.model.PlanSQL(sql)
+	if err != nil {
+		// Errors are not cached: error shapes are rare, and a poisoned entry
+		// would pin a parse error onto a fingerprint forever.
+		return nil, false, err
+	}
+	e := &CachedPlan{FP: fp, Plan: p, Cost: CostOf(p)}
+	c.insert(e)
+	return e, false, nil
+}
+
+func (c *PlanCache) insert(e *CachedPlan) {
+	sh := c.shardOf(e.FP)
+	e.touch.Store(sh.clock.Add(1))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := *sh.entries.Load()
+	next := make(map[uint64]*CachedPlan, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[e.FP.Lo] = e
+	// Evict the least-recently-touched entries down to the shard cap.
+	for len(next) > c.cap {
+		var victim uint64
+		oldest := int64(1<<63 - 1)
+		for k, v := range next {
+			if t := v.touch.Load(); t < oldest {
+				oldest, victim = t, k
+			}
+		}
+		delete(next, victim)
+	}
+	sh.entries.Store(&next)
+}
+
+// CacheStats is the merged monitoring view of the cache.
+type CacheStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+// Stats merges the shards.
+func (c *PlanCache) Stats() CacheStats {
+	var st CacheStats
+	for i := range c.shards {
+		sh := &c.shards[i]
+		st.Hits += sh.hits.Load()
+		st.Misses += sh.misses.Load()
+		st.Entries += len(*sh.entries.Load())
+	}
+	return st
+}

@@ -29,6 +29,12 @@ for P in 1 2 4 8; do
 	[ "$P" = 1 ] && NAME="BenchmarkLiveAdmit"
 	NS=$(metric "$NAME" "ns/op")
 	ALLOCS=$(metric "$NAME" "allocs/op")
+	# The steady-state admit path must never allocate; a regression here is a
+	# build failure, not a footnote in the JSON.
+	if [ "$ALLOCS" != "0" ]; then
+		echo "bench_live: $NAME allocates $ALLOCS allocs/op, want 0" >&2
+		exit 1
+	fi
 	RATE=$(awk -v ns="$NS" 'BEGIN { printf "%.0f", 1e9 / ns }')
 	rows="$rows    {\"gomaxprocs\": $P, \"ns_per_op\": $NS, \"admits_per_sec\": $RATE, \"allocs_per_op\": $ALLOCS},\n"
 done

@@ -1,0 +1,82 @@
+#!/bin/sh
+# bench_predict.sh — record the wire-speed prediction pipeline into
+# BENCH_predict.json.
+#
+# Three layers are measured:
+#   - BenchmarkPredictAdmit: the full admit-with-prediction cycle on a plan-
+#     cache hit (fingerprint -> cached plan -> features -> indexed k-NN ->
+#     bucket gate -> admit/done), plus its allocs/op (must be 0).
+#   - BenchmarkPlanCacheHit/Miss/Uncached: the fingerprint cache's hit cost
+#     against the parse+plan cost it elides (acceptance: >= 10x).
+#   - BenchmarkKNNLinear/Indexed at n=1000 and n=4000: the O(n) scan the k-d
+#     tree replaces (acceptance: indexed faster at n >= 1000).
+# num_cpu records the parallelism available when the numbers were taken.
+# Run via `make bench-predict`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+RT_OUT=$(go test -run '^$' -bench 'BenchmarkPredictAdmit$' \
+	-benchmem -benchtime 200000x ./internal/rt/)
+CACHE_OUT=$(go test -run '^$' -bench 'BenchmarkPlanCache(Hit|Miss)$|BenchmarkPlanUncached$' \
+	-benchmem -benchtime 100000x ./internal/sqlmini/)
+KNN_OUT=$(go test -run '^$' -bench 'BenchmarkKNN(Linear|Indexed)(1000|4000)$' \
+	-benchmem -benchtime 20000x ./internal/learn/)
+
+metric() { # metric <bench-output> <benchmark-name> <field: ns/op|allocs/op>
+	printf '%s\n' "$1" | awk -v name="$2" -v field="$3" '
+		$1 ~ "^"name"(-[0-9]+)?$" {
+			for (i = 2; i < NF; i++) if ($(i + 1) == field) { print $i; exit }
+		}'
+}
+
+ADMIT_NS=$(metric "$RT_OUT" "BenchmarkPredictAdmit" "ns/op")
+ADMIT_ALLOCS=$(metric "$RT_OUT" "BenchmarkPredictAdmit" "allocs/op")
+HIT_NS=$(metric "$CACHE_OUT" "BenchmarkPlanCacheHit" "ns/op")
+HIT_ALLOCS=$(metric "$CACHE_OUT" "BenchmarkPlanCacheHit" "allocs/op")
+MISS_NS=$(metric "$CACHE_OUT" "BenchmarkPlanCacheMiss" "ns/op")
+UNCACHED_NS=$(metric "$CACHE_OUT" "BenchmarkPlanUncached" "ns/op")
+LIN1K_NS=$(metric "$KNN_OUT" "BenchmarkKNNLinear1000" "ns/op")
+IDX1K_NS=$(metric "$KNN_OUT" "BenchmarkKNNIndexed1000" "ns/op")
+LIN4K_NS=$(metric "$KNN_OUT" "BenchmarkKNNLinear4000" "ns/op")
+IDX4K_NS=$(metric "$KNN_OUT" "BenchmarkKNNIndexed4000" "ns/op")
+NUM_CPU=$(nproc 2>/dev/null || echo 1)
+
+# Guard the zero-allocation acceptance criteria: the predict-admit cycle and
+# the plan-cache hit must not allocate.
+for pair in "predict-admit:$ADMIT_ALLOCS" "plan-cache-hit:$HIT_ALLOCS"; do
+	name=${pair%%:*}
+	allocs=${pair##*:}
+	if [ "$allocs" != "0" ]; then
+		echo "bench_predict: $name allocates $allocs allocs/op, want 0" >&2
+		exit 1
+	fi
+done
+
+HIT_SPEEDUP=$(awk -v h="$HIT_NS" -v m="$MISS_NS" 'BEGIN { printf "%.1f", m / h }')
+
+cat > BENCH_predict.json <<EOF
+{
+  "benchmark": "wire-speed prediction pipeline (cache hit + indexed k-NN + bucket gate)",
+  "num_cpu": $NUM_CPU,
+  "predict_admit": {
+    "ns_per_op": $ADMIT_NS,
+    "allocs_per_op": $ADMIT_ALLOCS
+  },
+  "plan_cache": {
+    "hit_ns_per_op": $HIT_NS,
+    "hit_allocs_per_op": $HIT_ALLOCS,
+    "miss_ns_per_op": $MISS_NS,
+    "uncached_ns_per_op": $UNCACHED_NS,
+    "hit_vs_miss_speedup": $HIT_SPEEDUP
+  },
+  "knn": {
+    "linear_1000_ns_per_op": $LIN1K_NS,
+    "indexed_1000_ns_per_op": $IDX1K_NS,
+    "linear_4000_ns_per_op": $LIN4K_NS,
+    "indexed_4000_ns_per_op": $IDX4K_NS
+  }
+}
+EOF
+
+cat BENCH_predict.json
