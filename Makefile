@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-live bench-predict fuzz-short
+.PHONY: build test vet race verify bench bench-live bench-predict bench-obs fuzz-short
 
 build:
 	$(GO) build ./...
@@ -13,7 +13,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/experiments/... ./internal/rt/... ./cmd/wlmd/... \
-		./internal/admission/... ./internal/sqlmini/...
+		./internal/admission/... ./internal/sqlmini/... ./internal/obsv/... \
+		./internal/rthttp/... ./internal/metrics/...
 
 # verify is the tier-1 gate: build, vet, full tests, and a race pass over
 # the parallel experiment fan-out and the live runtime.
@@ -35,6 +36,13 @@ bench-live:
 # BENCH_predict.json.
 bench-predict:
 	./scripts/bench_predict.sh
+
+# bench-obs prices the flight recorder on the admission hot paths (off vs on,
+# ns/op and allocs) into BENCH_obs.json. Fails if the recorder-off path
+# allocates or regresses >5% against BENCH_predict.json, or if the enabled
+# overhead exceeds 250 ns / 1 alloc per admit+done cycle.
+bench-obs:
+	./scripts/bench_obs.sh
 
 # fuzz-short smoke-fuzzes the SQL pipeline (lexer/parser/planner/fingerprint)
 # for 10 seconds — enough to shake out panics without stalling CI.

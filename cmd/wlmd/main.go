@@ -1,10 +1,14 @@
 // Command wlmd runs the live workload-management runtime as an HTTP daemon:
 // a workload-management layer in front of a database engine, in the spirit of
 // the taxonomy's admission-control systems. Clients ask /admit before running
-// work and report /done after; limits reload at runtime through /policy.
+// work and report /done after; limits reload at runtime through /policy;
+// GET /metrics serves Prometheus text format and GET /trace drains the
+// flight recorder.
 //
-//	wlmd -addr :8628              # serve
-//	wlmd -selftest -workers 64    # closed-loop in-process load generator
+//	wlmd -addr :8628                    # serve
+//	wlmd -trace 16384 -pprof            # serve with flight recorder + pprof
+//	wlmd -selftest -workers 64          # closed-loop in-process load generator
+//	wlmd -selftest -trace-dump          # ... and print the decision trace
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"time"
 
 	"dbwlm/internal/admission"
+	"dbwlm/internal/obsv"
 	"dbwlm/internal/policy"
 	"dbwlm/internal/rt"
 	"dbwlm/internal/rthttp"
@@ -41,10 +46,14 @@ func main() {
 		addr       = flag.String("addr", ":8628", "HTTP listen address")
 		policyPath = flag.String("policy", "", "JSON runtime policy applied at startup")
 		globalMPL  = flag.Int("global-mpl", 48, "global concurrent-admission cap (0 = unlimited)")
-		selftest   = flag.Bool("selftest", false, "run the closed-loop load generator and exit")
+		selftest   = flag.Bool("selftest", false, "run the closed-loop load generator and exit (non-zero on zero admits)")
 		workers    = flag.Int("workers", 64, "selftest: concurrent closed-loop workers")
 		perWorker  = flag.Int("per-worker", 200, "selftest: requests per worker")
 		seed       = flag.Uint64("seed", 1, "selftest: RNG seed")
+
+		traceCap  = flag.Int("trace", 0, "flight-recorder capacity in events (0 = off; served at /trace)")
+		traceDump = flag.Int("trace-dump", 0, "selftest: print the last N flight-recorder events after the run (implies -trace)")
+		pprofOn   = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 
 		predict    = flag.Bool("predict", false, "enable prediction-based admission: /admit accepts raw SQL via the sql= form field")
 		maxBucket  = flag.String("predict-max-bucket", "monster", "predict: largest admissible predicted runtime bucket (short|medium|long|monster)")
@@ -71,8 +80,23 @@ func main() {
 		}
 	}
 
+	if *traceDump > 0 && *traceCap == 0 {
+		*traceCap = 16384
+	}
+	if *traceCap > 0 {
+		r.SetRecorder(obsv.NewRecorder(*traceCap))
+	}
+
 	if *selftest {
-		fmt.Print(runSelfTest(r, *workers, *perWorker, *seed))
+		out, totals := runSelfTest(r, *workers, *perWorker, *seed)
+		fmt.Print(out)
+		if *traceDump > 0 {
+			fmt.Print(traceTail(r, *traceDump))
+		}
+		fmt.Println(totals.line())
+		if totals.admits == 0 {
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -92,22 +116,50 @@ func main() {
 		srv.EnablePredict(rt.NewPredictGate(r, cache, knn, bucket))
 		log.Printf("wlmd: prediction gate on (max bucket %s, plan cache %d)", bucket, *planCache)
 	}
+	if *pprofOn {
+		srv.EnablePprof()
+		log.Printf("wlmd: pprof on at /debug/pprof/")
+	}
 
 	r.Start()
 	defer r.Stop()
-	stopInd := rthttp.RunIndicatorLoop(r, 250*time.Millisecond)
-	defer stopInd()
-	log.Printf("wlmd: %d classes, global MPL %d, listening on %s", r.NumClasses(), *globalMPL, *addr)
+	// The live autonomic manager: monitor load, diagnose congestion, work the
+	// low-priority gate. Every iteration lands in the flight recorder when
+	// one is attached.
+	stopLoop := rthttp.StartMAPELoop(rthttp.NewMAPELoop(r, r.Recorder()), 250*time.Millisecond)
+	defer stopLoop()
+	log.Printf("wlmd: %d classes, global MPL %d, trace %d events, listening on %s",
+		r.NumClasses(), *globalMPL, *traceCap, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))
+}
+
+// selfTotals is the selftest outcome ledger across all classes.
+type selfTotals struct {
+	admits, rejects, timeouts int64
+}
+
+func (t selfTotals) line() string {
+	return fmt.Sprintf("selftest: %d admits, %d rejects, %d timeouts", t.admits, t.rejects, t.timeouts)
 }
 
 // runSelfTest drives the runtime with a closed-loop in-process generator:
 // workers spread across the class table admit, hold their slot for a
 // lognormal service time, and release — the live analogue of the simulated
-// experiments. It returns a per-class summary table.
-func runSelfTest(r *rt.Runtime, workers, perWorker int, seed uint64) string {
+// experiments. It returns a per-class summary table plus the outcome totals
+// (main exits non-zero when nothing was admitted).
+func runSelfTest(r *rt.Runtime, workers, perWorker int, seed uint64) (string, selfTotals) {
 	r.Start()
 	defer r.Stop()
+	if rec := r.Recorder(); rec != nil {
+		// With a recorder attached, drive one overload and one recovery MAPE
+		// cycle before the workers start so the trace shows the autonomic
+		// loop acting — and the gate ends open, so no waiter can hang on it.
+		loop := rthttp.NewMAPELoop(r, rec)
+		r.SetLoad(1.5, 0, 0.9)
+		loop.RunOnce() // overload symptom -> throttle action: gate closes
+		r.SetLoad(0.2, 0, 0.2)
+		loop.RunOnce() // underload symptom -> resume action: gate reopens
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -131,10 +183,27 @@ func runSelfTest(r *rt.Runtime, workers, perWorker int, seed uint64) string {
 
 	out := fmt.Sprintf("%-12s %9s %9s %9s %9s %9s %12s\n",
 		"class", "admitted", "queued", "rejected", "timeouts", "done", "p95 lat ms")
+	var totals selfTotals
 	for _, st := range r.Snapshot() {
 		out += fmt.Sprintf("%-12s %9d %9d %9d %9d %9d %12.3f\n",
 			st.Class, st.Admitted, st.Queued, st.Rejected, st.Timeouts, st.Done,
 			1000*st.Latency.P95)
+		totals.admits += st.Admitted
+		totals.rejects += st.Rejected
+		totals.timeouts += st.Timeouts
+	}
+	return out, totals
+}
+
+// traceTail renders the flight recorder's last n events with class names
+// resolved through the runtime.
+func traceTail(r *rt.Runtime, n int) string {
+	rec := r.Recorder()
+	events := rec.Tail(n, obsv.MatchAll)
+	out := fmt.Sprintf("trace: %d recorded, %d overwritten, showing %d\n",
+		rec.Recorded(), rec.Overwritten(), len(events))
+	for i := range events {
+		out += events[i].Format(func(id int32) string { return r.ClassName(rt.ClassID(id)) }) + "\n"
 	}
 	return out
 }

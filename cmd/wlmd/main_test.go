@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"net/url"
@@ -10,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"dbwlm/internal/obsv"
 	"dbwlm/internal/policy"
 	"dbwlm/internal/rt"
 	"dbwlm/internal/rthttp"
@@ -209,7 +211,7 @@ func TestSelfTest(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := runSelfTest(r, 12, 20, 1)
+	out, totals := runSelfTest(r, 12, 20, 1)
 	for _, class := range []string{"interactive", "reporting", "batch"} {
 		if !strings.Contains(out, class) {
 			t.Fatalf("summary missing %q:\n%s", class, out)
@@ -224,5 +226,115 @@ func TestSelfTest(t *testing.T) {
 	}
 	if total != 12*20 {
 		t.Fatalf("accounted %d outcomes, want %d", total, 12*20)
+	}
+	if totals.admits == 0 {
+		t.Fatalf("selftest totals %+v: expected admits", totals)
+	}
+	if !strings.Contains(totals.line(), "admits") {
+		t.Fatalf("summary line %q", totals.line())
+	}
+}
+
+// TestSelfTestZeroAdmits forces every request through an impossible cost cap:
+// the totals that make main exit non-zero must report zero admits.
+func TestSelfTestZeroAdmits(t *testing.T) {
+	specs := []rt.ClassSpec{
+		{Name: "capped", Priority: policy.PriorityHigh, MaxMPL: 4, MaxCostTimerons: 0.001},
+	}
+	r, err := rt.New(specs, rt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, totals := runSelfTest(r, 4, 10, 1)
+	if totals.admits != 0 {
+		t.Fatalf("admits %d through a 0.001-timeron cap", totals.admits)
+	}
+	if totals.rejects != 4*10 {
+		t.Fatalf("rejects %d, want %d", totals.rejects, 4*10)
+	}
+}
+
+// TestSelfTestTraceLifecycle is the end-to-end acceptance drive: a selftest
+// run with the flight recorder attached must leave a trace that shows the
+// complete decision lifecycle — admit with a reason, a queue entry, a drained
+// grant, a completion, and the MAPE loop acting — all drainable over
+// GET /trace with filters.
+func TestSelfTestTraceLifecycle(t *testing.T) {
+	r, err := rt.New(defaultClasses(), rt.Options{GlobalMaxMPL: 8, RetryEvery: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetRecorder(obsv.NewRecorder(1 << 15))
+	out, totals := runSelfTest(r, 24, 40, 1)
+	if totals.admits == 0 {
+		t.Fatalf("no admits:\n%s", out)
+	}
+
+	srv := httptest.NewServer(rthttp.NewServer(r))
+	defer srv.Close()
+	get := func(query string) rthttp.TraceResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/trace" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("trace%s status %d", query, resp.StatusCode)
+		}
+		var tr rthttp.TraceResponse
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+
+	tr := get("?n=0")
+	if tr.Recorded == 0 || len(tr.Events) == 0 {
+		t.Fatalf("empty trace: %+v", tr)
+	}
+	seen := map[string]bool{}
+	reasons := map[string]bool{}
+	for _, e := range tr.Events {
+		seen[e.Kind] = true
+		reasons[e.Kind+"/"+e.Reason] = true
+	}
+	// The complete lifecycle: admission verdicts with reasons, queueing, a
+	// drained grant, completion, and the MAPE loop thinking.
+	for _, want := range []string{"admit", "enqueue", "done", "mape-monitor", "mape-symptom", "mape-action"} {
+		if !seen[want] {
+			t.Fatalf("trace missing kind %q (kinds %v)", want, seen)
+		}
+	}
+	for _, want := range []string{"admit/fast-path", "admit/drained", "enqueue/gate-full", "mape-action/throttle", "mape-action/resume"} {
+		if !reasons[want] {
+			t.Fatalf("trace missing %q (have %v)", want, reasons)
+		}
+	}
+
+	// Filters narrow the drain: only rejected-cost verdicts for reporting.
+	for _, e := range get("?n=0&class=reporting&verdict=rejected-cost").Events {
+		if e.Class != "reporting" || e.Verdict != "rejected-cost" {
+			t.Fatalf("filter leak: %+v", e)
+		}
+	}
+	// A queued admission's qid threads enqueue -> drained grant -> done.
+	var qid int64
+	for _, e := range tr.Events {
+		if e.Kind == "enqueue" && e.QID != 0 {
+			qid = e.QID
+			break
+		}
+	}
+	if qid == 0 {
+		t.Fatal("no enqueue event carries a qid")
+	}
+	chain := get(fmt.Sprintf("?n=0&qid=%d", qid))
+	kinds := map[string]bool{}
+	for _, e := range chain.Events {
+		kinds[e.Kind] = true
+	}
+	if !kinds["enqueue"] || !kinds["admit"] || !kinds["done"] {
+		t.Fatalf("qid %d chain incomplete: %+v", qid, chain.Events)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dbwlm/internal/engine"
+	"dbwlm/internal/obsv"
 	"dbwlm/internal/policy"
 	"dbwlm/internal/sim"
 )
@@ -87,10 +88,58 @@ type Loop struct {
 	Plan    func(Observation, []Symptom) []PlannedAction
 	Execute func([]PlannedAction)
 
+	// Flight, when non-nil, records every iteration's monitor snapshot,
+	// diagnosed symptoms, and executed actions — the MAPE loop thinking out
+	// loud in the flight recorder.
+	Flight *obsv.Recorder
+	// ClassID resolves a class name to the recorder's class-ID space (nil
+	// records obsv.NoClass for class-scoped symptoms and actions).
+	ClassID func(string) int32
+
 	cycles   int64
 	actions  int64
 	symptoms int64
 	stop     func()
+}
+
+// flightClass maps a symptom/action class name through ClassID.
+func (l *Loop) flightClass(name string) int32 {
+	if name == "" || l.ClassID == nil {
+		return obsv.NoClass
+	}
+	return l.ClassID(name)
+}
+
+// symptomReason maps the analyzer vocabulary onto recorder reasons.
+func symptomReason(k SymptomKind) obsv.Reason {
+	switch k {
+	case SymptomSLOViolation:
+		return obsv.ReasonSLOViolation
+	case SymptomOverload:
+		return obsv.ReasonOverload
+	case SymptomUnderload:
+		return obsv.ReasonUnderload
+	}
+	return obsv.ReasonNone
+}
+
+// actionReason maps the planner vocabulary onto recorder reasons.
+func actionReason(k ActionKind) obsv.Reason {
+	switch k {
+	case ActionThrottle:
+		return obsv.ReasonThrottle
+	case ActionSuspend:
+		return obsv.ReasonSuspend
+	case ActionKill:
+		return obsv.ReasonKill
+	case ActionKillResubmit:
+		return obsv.ReasonKillResubmit
+	case ActionReprioritize:
+		return obsv.ReasonReprioritize
+	case ActionResume:
+		return obsv.ReasonResume
+	}
+	return obsv.ReasonNoAction
 }
 
 // Start runs the loop every Period on the simulator.
@@ -116,13 +165,28 @@ func (l *Loop) Stop() {
 func (l *Loop) RunOnce() {
 	l.cycles++
 	obs := l.Monitor()
+	at := int64(obs.At) * 1000 // sim microseconds -> recorder nanoseconds
+	l.Flight.Record(obsv.Event{At: at, Kind: obsv.KindMAPEMonitor,
+		Verdict: obsv.NoVerdict, Class: obsv.NoClass,
+		Value: obs.Engine.MemPressure, Aux: float64(obs.Engine.InEngine)})
 	symptoms := l.Analyze(obs)
 	l.symptoms += int64(len(symptoms))
+	for i := range symptoms {
+		l.Flight.Record(obsv.Event{At: at, Kind: obsv.KindMAPESymptom,
+			Reason: symptomReason(symptoms[i].Kind), Verdict: obsv.NoVerdict,
+			Class: l.flightClass(symptoms[i].Class), Value: symptoms[i].Severity})
+	}
 	if len(symptoms) == 0 {
 		return
 	}
 	actions := l.Plan(obs, symptoms)
 	l.actions += int64(len(actions))
+	for i := range actions {
+		l.Flight.Record(obsv.Event{At: at, Kind: obsv.KindMAPEAction,
+			Reason: actionReason(actions[i].Kind), Verdict: obsv.NoVerdict,
+			Class: l.flightClass(actions[i].Class), QID: actions[i].Query,
+			Value: actions[i].Amount})
+	}
 	if len(actions) > 0 {
 		l.Execute(actions)
 	}

@@ -13,6 +13,7 @@ import (
 
 	"dbwlm/internal/engine"
 	"dbwlm/internal/metrics"
+	"dbwlm/internal/obsv"
 	"dbwlm/internal/sim"
 )
 
@@ -58,6 +59,9 @@ type Ager struct {
 	CheckEvery sim.Duration
 	// Events, when non-nil, records threshold violations.
 	Events *metrics.Recorder
+	// Flight, when non-nil, records each demotion in the flight recorder
+	// (KindCtlAction, reason reprioritize, Value = new tier).
+	Flight *obsv.Recorder
 
 	managed   map[int64]*Managed
 	sweepIDs  []int64
@@ -139,6 +143,12 @@ func (a *Ager) sweep() {
 				Kind: metrics.EventThresholdViolation, At: now, Query: id,
 				What: what, Detail: "priority aging demotion", Value: float64(m.Tier),
 			})
+		}
+		if a.Flight != nil {
+			a.Flight.Record(obsv.Event{At: int64(now) * 1000, QID: id,
+				Kind: obsv.KindCtlAction, Reason: obsv.ReasonReprioritize,
+				Verdict: obsv.NoVerdict, Class: obsv.NoClass,
+				Value: float64(m.Tier), Aux: a.Weights[m.Tier]})
 		}
 	}
 }

@@ -3,6 +3,7 @@ package execctl
 import (
 	"dbwlm/internal/engine"
 	"dbwlm/internal/metrics"
+	"dbwlm/internal/obsv"
 	"dbwlm/internal/sim"
 )
 
@@ -30,6 +31,9 @@ type Killer struct {
 	CheckEvery sim.Duration
 	// Events, when non-nil, records control actions.
 	Events *metrics.Recorder
+	// Flight, when non-nil, records each kill in the flight recorder
+	// (KindCtlAction, reason kill/kill-resubmit).
+	Flight *obsv.Recorder
 
 	managed  map[int64]*Managed
 	sweepIDs []int64
@@ -100,6 +104,15 @@ func (k *Killer) sweep() {
 				Kind: metrics.EventControlAction, At: now, Query: id,
 				What: "kill", Detail: what, Value: elapsed,
 			})
+		}
+		if k.Flight != nil {
+			reason := obsv.ReasonKill
+			if k.Resubmit {
+				reason = obsv.ReasonKillResubmit
+			}
+			k.Flight.Record(obsv.Event{At: int64(now) * 1000, QID: id,
+				Kind: obsv.KindCtlAction, Reason: reason,
+				Verdict: obsv.NoVerdict, Class: obsv.NoClass, Value: elapsed})
 		}
 		if k.OnKill != nil {
 			k.OnKill(id, k.Resubmit)

@@ -5,6 +5,7 @@ import (
 
 	"dbwlm/internal/engine"
 	"dbwlm/internal/learn"
+	"dbwlm/internal/obsv"
 	"dbwlm/internal/sim"
 )
 
@@ -216,6 +217,9 @@ type Throttler struct {
 	// InterruptWindow is the horizon over which an interrupt pause is sized
 	// (default 10s): pause length = amount × window.
 	InterruptWindow sim.Duration
+	// Flight, when non-nil, records throttle-amount changes
+	// (KindCtlAction, reason throttle, Value = new sleep fraction).
+	Flight *obsv.Recorder
 
 	managed  map[int64]*Managed
 	sweepIDs []int64
@@ -260,8 +264,15 @@ func (t *Throttler) ensureStarted() {
 }
 
 func (t *Throttler) step() {
+	prev := t.amount
 	t.amount = t.Controller.Update(t.PerfRatio())
 	now := t.Engine.Now()
+	if t.Flight != nil && t.amount != prev {
+		t.Flight.Record(obsv.Event{At: int64(now) * 1000,
+			Kind: obsv.KindCtlAction, Reason: obsv.ReasonThrottle,
+			Verdict: obsv.NoVerdict, Class: obsv.NoClass, Value: t.amount,
+			Aux: prev})
+	}
 	window := t.InterruptWindow
 	if window <= 0 {
 		window = 10 * sim.Second

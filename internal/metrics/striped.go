@@ -280,6 +280,37 @@ func (h *StripedHistogram) Mean() float64 {
 	return m.sum / float64(m.count)
 }
 
+// Sum reports the merged sum of recorded values.
+func (h *StripedHistogram) Sum() float64 {
+	var sum float64
+	for i := range h.shards {
+		s := &h.shards[i]
+		if s.count.Load() == 0 {
+			continue
+		}
+		sum += math.Float64frombits(s.sumBits.Load())
+	}
+	return sum
+}
+
+// Cumulative walks the merged bucket array for exposition: f is called once
+// per non-empty bucket in ascending upper-bound order with the bucket's
+// inclusive upper bound and the running cumulative count — the shape of a
+// Prometheus histogram's le series. Returns the merged total count and sum
+// (the _count and _sum samples).
+func (h *StripedHistogram) Cumulative(f func(upperBound float64, cumulative int64)) (count int64, sum float64) {
+	m := h.merge()
+	var cum int64
+	for i, n := range m.buckets {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		f(stripedBucketUpper(i), cum)
+	}
+	return m.count, m.sum
+}
+
 // Snapshot merges the shards into a reporting summary.
 func (h *StripedHistogram) Snapshot() Snapshot {
 	m := h.merge()

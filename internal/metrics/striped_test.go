@@ -100,6 +100,72 @@ func TestStripedHistogramConcurrent(t *testing.T) {
 	}
 }
 
+// TestStripedHistogramMergeOnRead reads the merged view (Cumulative, Sum,
+// Count — the /metrics exposition path) continuously while writers are still
+// recording: each mid-flight merge must be internally consistent (cumulative
+// counts monotone, terminal equal to the merged count), and the final merge
+// must equal the sum of the per-writer counts exactly. Runs under -race in
+// the `make race` target.
+func TestStripedHistogramMergeOnRead(t *testing.T) {
+	h := NewStripedHistogram(0)
+	const writers, per = 16, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var last int64
+			count, sum := h.Cumulative(func(upper float64, cum int64) {
+				if cum < last {
+					t.Errorf("cumulative went backwards: %d after %d at le=%g", cum, last, upper)
+				}
+				last = cum
+			})
+			if last > count {
+				t.Errorf("last bucket %d exceeds merged count %d", last, count)
+			}
+			if count > 0 && sum <= 0 {
+				t.Errorf("merged count %d with sum %v", count, sum)
+			}
+		}
+	}()
+	perWriter := make([]int64, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(float64(i%97+1) * 1e-3)
+				perWriter[w]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	var want int64
+	for _, n := range perWriter {
+		want += n
+	}
+	count, sum := h.Cumulative(func(float64, int64) {})
+	if count != want {
+		t.Fatalf("merged count %d, want sum of per-writer counts %d", count, want)
+	}
+	if got := h.Count(); got != want {
+		t.Fatalf("Count() %d, want %d", got, want)
+	}
+	if exact := h.Sum(); math.Abs(sum-exact) > 1e-9*exact {
+		t.Fatalf("Cumulative sum %v disagrees with Sum() %v", sum, exact)
+	}
+}
+
 // TestStripedHistogramClamping mirrors Histogram.Record's input policy.
 func TestStripedHistogramClamping(t *testing.T) {
 	h := NewStripedHistogram(2)

@@ -3,9 +3,13 @@ package rt
 import (
 	"dbwlm/internal/admission"
 	"dbwlm/internal/metrics"
+	"dbwlm/internal/obsv"
 	"dbwlm/internal/sqlmini"
 	"dbwlm/internal/workload"
 )
+
+// numBuckets is the runtime-bucket cardinality (short..monster).
+const numBuckets = int(admission.BucketMonster) + 1
 
 // Prediction is the wire-speed forecast attached to an admission decision:
 // everything the gate learned about the statement before deciding. Plain data
@@ -45,6 +49,9 @@ type PredictGate struct {
 	predicted *metrics.StripedHistogram // predicted seconds on modeled admits
 	gated     *metrics.StripedCounter   // RejectedPredicted count
 	unmodeled *metrics.StripedCounter   // decisions taken without a model
+	// byBucket counts modeled predictions per runtime bucket — the
+	// bucket-labeled series of the /metrics exposition.
+	byBucket [numBuckets]*metrics.StripedCounter
 }
 
 // NewPredictGate wires a prediction gate over the runtime. maxBucket is the
@@ -52,7 +59,7 @@ type PredictGate struct {
 // cost limits allow, i.e. disables the bucket gate).
 func NewPredictGate(r *Runtime, cache *sqlmini.PlanCache, knn *admission.KNNPredictor, maxBucket admission.RuntimeBucket) *PredictGate {
 	shards := defaultShards()
-	return &PredictGate{
+	g := &PredictGate{
 		rt:        r,
 		cache:     cache,
 		knn:       knn,
@@ -61,6 +68,10 @@ func NewPredictGate(r *Runtime, cache *sqlmini.PlanCache, knn *admission.KNNPred
 		gated:     metrics.NewStripedCounter(shards),
 		unmodeled: metrics.NewStripedCounter(shards),
 	}
+	for b := range g.byBucket {
+		g.byBucket[b] = metrics.NewStripedCounter(shards)
+	}
+	return g
 }
 
 // MaxBucket reports the configured bucket ceiling.
@@ -84,16 +95,27 @@ func (g *PredictGate) AdmitSQL(class ClassID, sql string) (Grant, Prediction, er
 		e.Cost.Type == sqlmini.StmtRead, &f)
 	if s, ok := g.knn.PredictSeconds(&f); ok {
 		pred.Seconds, pred.Bucket, pred.Modeled = s, admission.BucketOf(s), true
+		if b := int(pred.Bucket); b >= 0 && b < numBuckets {
+			g.byBucket[b].Inc()
+		}
 		if pred.Bucket > g.maxBucket {
 			g.gated.Inc()
 			g.rt.classes[class].rejected.Inc()
-			return Grant{verdict: RejectedPredicted, class: class}, pred, nil
+			var qid int64
+			if rec := g.rt.rec; rec != nil {
+				qid = g.rt.qids.Add(1)
+				rec.Record(obsv.Event{At: g.rt.now(), QID: qid, FP: e.FP.Lo,
+					Kind: obsv.KindAdmit, Reason: obsv.ReasonPredictedBucket,
+					Verdict: uint8(RejectedPredicted), Class: int32(class),
+					Value: pred.Timerons, Aux: s})
+			}
+			return Grant{verdict: RejectedPredicted, class: class, id: qid}, pred, nil
 		}
 		g.predicted.Record(s)
 	} else {
 		g.unmodeled.Inc()
 	}
-	return g.rt.Admit(class, pred.Timerons), pred, nil
+	return g.rt.admitWith(class, pred.Timerons, e.FP.Lo, pred.Seconds), pred, nil
 }
 
 // ObserveDone releases an admitted grant and feeds the observed service time

@@ -11,6 +11,11 @@ type waiter struct {
 	ch         chan Grant
 	enqueuedAt int64 // runtime clock nanos at enqueue
 	cost       float64
+	// Flight-recorder identity, carried so the dequeue event correlates
+	// with the enqueue (all zero when the recorder is off).
+	qid       int64
+	fp        uint64
+	predicted float64
 }
 
 var waiterPool = sync.Pool{New: func() any { return &waiter{ch: make(chan Grant, 1)} }}

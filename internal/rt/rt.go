@@ -5,11 +5,13 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dbwlm/internal/admission"
 	"dbwlm/internal/engine"
 	"dbwlm/internal/metrics"
+	"dbwlm/internal/obsv"
 	"dbwlm/internal/policy"
 )
 
@@ -86,6 +88,17 @@ func (v Verdict) String() string {
 	}
 }
 
+// VerdictFromName parses a verdict name as rendered by String (used by the
+// /trace filter).
+func VerdictFromName(name string) (Verdict, bool) {
+	for v := Admitted; v <= RejectedPredicted; v++ {
+		if v.String() == name {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
 // Grant is the value an admission attempt resolves to. It is plain data — no
 // allocation on the admit path — and an admitted Grant must be handed back
 // via Done exactly once (it carries the gate shards its slot was taken from).
@@ -95,7 +108,12 @@ type Grant struct {
 	shard   int32
 	gshard  int32
 	start   int64 // runtime clock nanos at admission
+	id      int64 // flight-recorder admission ID (0 when the recorder is off)
 }
+
+// ID reports the admission ID correlating this request's flight-recorder
+// events (0 when the recorder is off).
+func (g Grant) ID() int64 { return g.id }
 
 // Admitted reports whether the request holds a slot.
 func (g Grant) Admitted() bool { return g.verdict == Admitted }
@@ -141,8 +159,22 @@ type Runtime struct {
 	conflictRatio metrics.AtomicGauge
 	cpuUtil       metrics.AtomicGauge
 
+	// rec is the flight recorder; nil (the default) disables it, and every
+	// hook below is a single nil-check branch in that state. qids hands out
+	// the admission IDs that correlate one request's lifecycle events.
+	rec  *obsv.Recorder
+	qids atomic.Int64
+
 	stop chan struct{}
 }
+
+// SetRecorder attaches a flight recorder; nil detaches it. Call before
+// serving traffic — the runtime reads the pointer without synchronization on
+// the admit path.
+func (r *Runtime) SetRecorder(rec *obsv.Recorder) { r.rec = rec }
+
+// Recorder reports the attached flight recorder (nil when disabled).
+func (r *Runtime) Recorder() *obsv.Recorder { return r.rec }
 
 // atomicBool avoids importing sync/atomic here just for one flag.
 type atomicBool struct{ v metrics.AtomicGauge }
@@ -248,11 +280,28 @@ func (r *Runtime) ElapsedSeconds(g Grant) float64 {
 // allocation-free: a limit-block load, a CAS on a padded gate shard, and
 // striped counter increments.
 func (r *Runtime) Admit(class ClassID, costTimerons float64) Grant {
+	return r.admitWith(class, costTimerons, 0, 0)
+}
+
+// admitWith is Admit plus the prediction pipeline's trace context: the
+// statement fingerprint and predicted service seconds travel into the
+// flight-recorder events (both zero on the plain Admit path).
+func (r *Runtime) admitWith(class ClassID, costTimerons float64, fp uint64, predicted float64) Grant {
 	cs := r.classes[class]
 	lim := cs.gate.limits.Load()
+	var qid int64
+	if r.rec != nil {
+		qid = r.qids.Add(1)
+	}
 	if lim.maxCost > 0 && costTimerons > lim.maxCost {
 		cs.rejected.Inc()
-		return Grant{verdict: RejectedCost, class: class}
+		if r.rec != nil {
+			r.rec.Record(obsv.Event{At: r.now(), QID: qid, FP: fp,
+				Kind: obsv.KindAdmit, Reason: obsv.ReasonCostLimit,
+				Verdict: uint8(RejectedCost), Class: int32(class),
+				Value: costTimerons, Aux: predicted})
+		}
+		return Grant{verdict: RejectedCost, class: class, id: qid}
 	}
 	gated := r.lowPriorityGate.Load() && cs.spec.Priority < r.gatePriorityBelow
 	// FIFO within class: once waiters exist, new arrivals park behind them
@@ -261,20 +310,39 @@ func (r *Runtime) Admit(class ClassID, costTimerons float64) Grant {
 		if gs := r.global.tryEnter(); gs >= 0 {
 			if s := cs.gate.tryEnter(); s >= 0 {
 				cs.admitted.Inc()
-				return Grant{verdict: Admitted, class: class, shard: s, gshard: gs, start: r.now()}
+				start := r.now()
+				if r.rec != nil {
+					r.rec.Record(obsv.Event{At: start, QID: qid, FP: fp,
+						Kind: obsv.KindAdmit, Reason: obsv.ReasonFastPath,
+						Verdict: uint8(Admitted), Class: int32(class),
+						Value: costTimerons, Aux: predicted})
+				}
+				return Grant{verdict: Admitted, class: class, shard: s, gshard: gs, start: start, id: qid}
 			}
 			r.global.leave(gs)
 		}
 	}
-	return r.await(cs, class, costTimerons)
+	return r.await(cs, class, costTimerons, qid, fp, predicted, gated)
 }
 
 // await parks the request in its class queue until a retry cycle or a
 // release hands it a verdict.
-func (r *Runtime) await(cs *classState, class ClassID, cost float64) Grant {
+func (r *Runtime) await(cs *classState, class ClassID, cost float64, qid int64, fp uint64, predicted float64, gated bool) Grant {
 	w := waiterPool.Get().(*waiter)
 	w.enqueuedAt = r.now()
 	w.cost = cost
+	w.qid = qid
+	w.fp = fp
+	w.predicted = predicted
+	if r.rec != nil {
+		reason := obsv.ReasonGateFull
+		if gated {
+			reason = obsv.ReasonLowPriorityGate
+		}
+		r.rec.Record(obsv.Event{At: w.enqueuedAt, QID: qid, FP: fp,
+			Kind: obsv.KindEnqueue, Reason: reason, Verdict: obsv.NoVerdict,
+			Class: int32(class), Value: cost, Aux: predicted})
+	}
 	cs.queue.mu.Lock()
 	cs.queue.push(w)
 	cs.gate.waiters.Add(1)
@@ -306,6 +374,11 @@ func (r *Runtime) Done(g Grant, idealSeconds float64) {
 		cs.velocity.Record(v)
 	}
 	cs.completed.Inc()
+	if r.rec != nil {
+		r.rec.Record(obsv.Event{At: r.now(), QID: g.id,
+			Kind: obsv.KindDone, Verdict: obsv.NoVerdict,
+			Class: int32(g.class), Value: elapsed, Aux: idealSeconds})
+	}
 	cs.gate.leave(g.shard)
 	r.global.leave(g.gshard)
 	if cs.gate.waiters.Load() > 0 {
@@ -338,7 +411,13 @@ func (r *Runtime) drain(cs *classState, class ClassID, enforceTimeout bool) {
 			cs.queue.pop()
 			cs.gate.waiters.Add(-1)
 			cs.timeouts.Inc()
-			w.ch <- Grant{verdict: RejectedTimeout, class: class}
+			if r.rec != nil {
+				r.rec.Record(obsv.Event{At: now, QID: w.qid, FP: w.fp,
+					Kind: obsv.KindAdmit, Reason: obsv.ReasonQueueTimeout,
+					Verdict: uint8(RejectedTimeout), Class: int32(class),
+					Value: w.cost, Aux: float64(now-w.enqueuedAt) / 1e9})
+			}
+			w.ch <- Grant{verdict: RejectedTimeout, class: class, id: w.qid}
 			continue
 		}
 		if gated {
@@ -350,7 +429,13 @@ func (r *Runtime) drain(cs *classState, class ClassID, enforceTimeout bool) {
 			cs.queue.pop()
 			cs.gate.waiters.Add(-1)
 			cs.rejected.Inc()
-			w.ch <- Grant{verdict: RejectedCost, class: class}
+			if r.rec != nil {
+				r.rec.Record(obsv.Event{At: now, QID: w.qid, FP: w.fp,
+					Kind: obsv.KindAdmit, Reason: obsv.ReasonCostLimit,
+					Verdict: uint8(RejectedCost), Class: int32(class),
+					Value: w.cost, Aux: w.predicted})
+			}
+			w.ch <- Grant{verdict: RejectedCost, class: class, id: w.qid}
 			continue
 		}
 		gs := r.global.tryEnter()
@@ -366,7 +451,13 @@ func (r *Runtime) drain(cs *classState, class ClassID, enforceTimeout bool) {
 		cs.gate.waiters.Add(-1)
 		cs.admitted.Inc()
 		cs.wait.Record(float64(now-w.enqueuedAt) / 1e9)
-		w.ch <- Grant{verdict: Admitted, class: class, shard: s, gshard: gs, start: now}
+		if r.rec != nil {
+			r.rec.Record(obsv.Event{At: now, QID: w.qid, FP: w.fp,
+				Kind: obsv.KindAdmit, Reason: obsv.ReasonDrained,
+				Verdict: uint8(Admitted), Class: int32(class),
+				Value: w.cost, Aux: float64(now-w.enqueuedAt) / 1e9})
+		}
+		w.ch <- Grant{verdict: Admitted, class: class, shard: s, gshard: gs, start: now, id: w.qid}
 	}
 }
 
@@ -556,21 +647,27 @@ func (r *Runtime) SnapshotInto(buf []ClassStats) []ClassStats {
 func (r *Runtime) QueueLen(id ClassID) int64 { return r.classes[id].gate.waiters.Load() }
 
 // Token serializes an admitted Grant for transport to an external client
-// (the wlmd /admit response); ParseToken reverses it at /done.
+// (the wlmd /admit response); ParseToken reverses it at /done. When the
+// flight recorder assigned an admission ID, a fifth field carries it so the
+// /done trace event correlates with the /admit one.
 func (g Grant) Token() string {
 	if g.verdict != Admitted {
 		return ""
 	}
+	if g.id != 0 {
+		return fmt.Sprintf("%d:%d:%d:%d:%d", g.class, g.shard, g.gshard, g.start, g.id)
+	}
 	return fmt.Sprintf("%d:%d:%d:%d", g.class, g.shard, g.gshard, g.start)
 }
 
-// ParseToken reconstructs an admitted Grant from its token.
+// ParseToken reconstructs an admitted Grant from its token (with or without
+// the optional trailing admission-ID field).
 func (r *Runtime) ParseToken(tok string) (Grant, error) {
 	parts := strings.Split(tok, ":")
-	if len(parts) != 4 {
+	if len(parts) != 4 && len(parts) != 5 {
 		return Grant{}, fmt.Errorf("rt: malformed token %q", tok)
 	}
-	var nums [4]int64
+	var nums [5]int64
 	for i, p := range parts {
 		v, err := strconv.ParseInt(p, 10, 64)
 		if err != nil {
@@ -586,7 +683,7 @@ func (r *Runtime) ParseToken(tok string) (Grant, error) {
 	if shard < 0 || shard >= nShards || gshard < 0 || gshard >= int64(len(r.global.shards)) {
 		return Grant{}, fmt.Errorf("rt: token shard out of range")
 	}
-	return Grant{verdict: Admitted, class: ClassID(class), shard: int32(shard), gshard: int32(gshard), start: nums[3]}, nil
+	return Grant{verdict: Admitted, class: ClassID(class), shard: int32(shard), gshard: int32(gshard), start: nums[3], id: nums[4]}, nil
 }
 
 func defaultShards() int {

@@ -8,19 +8,27 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"dbwlm/internal/admission"
+	"dbwlm/internal/autonomic"
+	"dbwlm/internal/obsv"
 	"dbwlm/internal/policy"
 	"dbwlm/internal/rt"
+	"dbwlm/internal/sim"
 )
 
 // Server is the wlmd HTTP front-end over a live runtime. Clients call
 // POST /admit before running work against the database and POST /done after;
 // the admission verdict — and any queueing — happens here, in front of the
 // engine, exactly as the taxonomy's admission-control layer prescribes.
+// GET /metrics exposes the striped statistics in Prometheus text format and
+// GET /trace drains the flight recorder. Every response — including 400/404/
+// 405 errors — is JSON with Content-Type set, except the Prometheus page.
 type Server struct {
 	rt      *rt.Runtime
 	predict *rt.PredictGate
@@ -34,13 +42,50 @@ type Server struct {
 // NewServer wires the endpoints over a runtime.
 func NewServer(r *rt.Runtime) *Server {
 	s := &Server{rt: r, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /admit", s.handleAdmit)
-	s.mux.HandleFunc("POST /done", s.handleDone)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /policy", s.handlePolicyGet)
-	s.mux.HandleFunc("POST /policy", s.handlePolicySet)
-	s.mux.HandleFunc("POST /load", s.handleLoad)
+	s.handle("/admit", methods{http.MethodPost: s.handleAdmit})
+	s.handle("/done", methods{http.MethodPost: s.handleDone})
+	s.handle("/stats", methods{http.MethodGet: s.handleStats})
+	s.handle("/trace", methods{http.MethodGet: s.handleTrace})
+	s.handle("/metrics", methods{http.MethodGet: s.handleMetrics})
+	s.handle("/policy", methods{
+		http.MethodGet:  s.handlePolicyGet,
+		http.MethodPost: s.handlePolicySet,
+	})
+	s.handle("/load", methods{http.MethodPost: s.handleLoad})
+	s.mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		httpError(w, http.StatusNotFound, "no such endpoint %q", r.URL.Path)
+	})
 	return s
+}
+
+// methods maps HTTP methods to their handler for one path.
+type methods map[string]http.HandlerFunc
+
+// handle registers a path with per-method dispatch: an unsupported method
+// gets a 405 JSON body plus the Allow header, instead of the mux's implicit
+// plain-text reply.
+func (s *Server) handle(path string, m methods) {
+	allowed := make([]string, 0, len(m))
+	for method := range m {
+		allowed = append(allowed, method)
+	}
+	// Deterministic Allow header (map order is random).
+	for i := 1; i < len(allowed); i++ {
+		for j := i; j > 0 && allowed[j] < allowed[j-1]; j-- {
+			allowed[j], allowed[j-1] = allowed[j-1], allowed[j]
+		}
+	}
+	allow := strings.Join(allowed, ", ")
+	s.mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		h, ok := m[r.Method]
+		if !ok {
+			w.Header().Set("Allow", allow)
+			httpError(w, http.StatusMethodNotAllowed,
+				"method %s not allowed on %s (allow: %s)", r.Method, path, allow)
+			return
+		}
+		h(w, r)
+	})
 }
 
 // EnablePredict attaches a prediction gate: /admit accepts a raw `sql` form
@@ -48,6 +93,17 @@ func NewServer(r *rt.Runtime) *Server {
 // /done with the same `sql` feeds the observed service time back into the
 // model. Call before serving traffic.
 func (s *Server) EnablePredict(g *rt.PredictGate) { s.predict = g }
+
+// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/ on the
+// server's own mux (the wlmd -pprof flag), so profiling needs no second
+// listener and stays off unless asked for.
+func (s *Server) EnablePprof() {
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -164,6 +220,121 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.statsBuf.Put(classes[:0])
 }
 
+// TraceEvent is one flight-recorder event rendered for the /trace reply.
+type TraceEvent struct {
+	AtSeconds   float64 `json:"at_seconds"`
+	Kind        string  `json:"kind"`
+	Reason      string  `json:"reason,omitempty"`
+	Class       string  `json:"class,omitempty"`
+	Verdict     string  `json:"verdict,omitempty"`
+	QID         int64   `json:"qid,omitempty"`
+	Fingerprint string  `json:"fp,omitempty"`
+	Value       float64 `json:"value"`
+	Aux         float64 `json:"aux,omitempty"`
+}
+
+// TraceResponse is the /trace reply: ring accounting plus the drained tail,
+// oldest first.
+type TraceResponse struct {
+	Recorded    uint64       `json:"recorded"`
+	Overwritten uint64       `json:"overwritten"`
+	Capacity    int          `json:"capacity"`
+	Events      []TraceEvent `json:"events"`
+}
+
+// handleTrace drains the flight recorder: GET /trace?n=&class=&verdict=&
+// kind=&qid=. n defaults to 100 (n=0 returns every retained match).
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rec := s.rt.Recorder()
+	if rec == nil {
+		httpError(w, http.StatusNotFound, "flight recorder disabled (start wlmd with -trace)")
+		return
+	}
+	n := 100
+	if v := r.FormValue("n"); v != "" {
+		parsed, err := strconv.Atoi(v)
+		if err != nil || parsed < 0 {
+			httpError(w, http.StatusBadRequest, "bad n %q", v)
+			return
+		}
+		n = parsed
+	}
+	f := obsv.MatchAll
+	if v := r.FormValue("class"); v != "" {
+		id, ok := s.rt.Class(v)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "unknown class %q", v)
+			return
+		}
+		f.Class = int32(id)
+	}
+	if v := r.FormValue("verdict"); v != "" {
+		verdict, ok := rt.VerdictFromName(v)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "unknown verdict %q", v)
+			return
+		}
+		f.Verdict = int16(verdict)
+	}
+	if v := r.FormValue("kind"); v != "" {
+		kind, ok := obsv.KindFromName(v)
+		if !ok {
+			httpError(w, http.StatusBadRequest, "unknown kind %q", v)
+			return
+		}
+		f.Kind = kind
+	}
+	if v := r.FormValue("qid"); v != "" {
+		qid, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad qid %q", v)
+			return
+		}
+		f.QID = qid
+	}
+	events := rec.Tail(n, f)
+	resp := TraceResponse{
+		Recorded:    rec.Recorded(),
+		Overwritten: rec.Overwritten(),
+		Capacity:    rec.Cap(),
+		Events:      make([]TraceEvent, len(events)),
+	}
+	for i, e := range events {
+		te := TraceEvent{
+			AtSeconds: float64(e.At) / 1e9,
+			Kind:      e.Kind.String(),
+			Reason:    e.Reason.String(),
+			QID:       e.QID,
+			Value:     e.Value,
+			Aux:       e.Aux,
+		}
+		if e.Class != obsv.NoClass {
+			te.Class = s.rt.ClassName(rt.ClassID(e.Class))
+		}
+		if e.Verdict != obsv.NoVerdict {
+			te.Verdict = rt.Verdict(e.Verdict).String()
+		}
+		if e.FP != 0 {
+			te.Fingerprint = fmt.Sprintf("%016x", e.FP)
+		}
+		resp.Events[i] = te
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics renders the Prometheus text-format exposition (the one
+// non-JSON page the daemon serves).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	p := obsv.NewPromWriter(w)
+	s.rt.WritePrometheus(p)
+	if s.predict != nil {
+		s.predict.WritePrometheus(p)
+	}
+	// A write error here means the scraper hung up; nothing to do.
+	_ = p.Err()
+}
+
 func (s *Server) handlePolicyGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.rt.Policy())
 }
@@ -236,6 +407,105 @@ func RunIndicatorLoop(r *rt.Runtime, interval time.Duration) (stop func()) {
 			select {
 			case <-t.C:
 				r.SetLowPriorityGate(ind.Congested())
+			case <-done:
+				return
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// NewMAPELoop builds the live autonomic manager (Section 5.3) over the
+// runtime: the monitor snapshots the merged-shard view, the analyzer applies
+// the indicator thresholds (Zhang et al.) to diagnose overload — or
+// underload once the congestion gate is closed and the indicators have
+// cleared — the planner picks the gate action, and the executor flips the
+// low-priority gate. With a flight recorder attached, every iteration's
+// snapshot, symptoms, and actions land in the trace: the MAPE loop thinking
+// out loud. Drive it with RunOnce (tests, selftest) or StartMAPELoop.
+func NewMAPELoop(r *rt.Runtime, rec *obsv.Recorder) *autonomic.Loop {
+	return &autonomic.Loop{
+		Flight: rec,
+		ClassID: func(name string) int32 {
+			if id, ok := r.Class(name); ok {
+				return int32(id)
+			}
+			return obsv.NoClass
+		},
+		Monitor: func() autonomic.Observation {
+			return autonomic.Observation{
+				At:     sim.Time(r.NowNanos() / 1000),
+				Engine: r.StatsNow(),
+			}
+		},
+		Analyze: func(obs autonomic.Observation) []autonomic.Symptom {
+			congested, severity := congestion(obs)
+			switch {
+			case congested:
+				return []autonomic.Symptom{{Kind: autonomic.SymptomOverload, Severity: severity}}
+			case r.LowPriorityGate():
+				// The gate is holding work the indicators no longer justify.
+				return []autonomic.Symptom{{Kind: autonomic.SymptomUnderload, Severity: 1}}
+			}
+			return nil
+		},
+		Plan: func(_ autonomic.Observation, symptoms []autonomic.Symptom) []autonomic.PlannedAction {
+			for _, sym := range symptoms {
+				switch sym.Kind {
+				case autonomic.SymptomOverload:
+					return []autonomic.PlannedAction{{Kind: autonomic.ActionThrottle, Amount: 1}}
+				case autonomic.SymptomUnderload:
+					return []autonomic.PlannedAction{{Kind: autonomic.ActionResume}}
+				}
+			}
+			return nil
+		},
+		Execute: func(actions []autonomic.PlannedAction) {
+			for _, a := range actions {
+				switch a.Kind {
+				case autonomic.ActionThrottle:
+					r.SetLowPriorityGate(true)
+				case autonomic.ActionResume:
+					r.SetLowPriorityGate(false)
+				}
+			}
+		},
+	}
+}
+
+// congestion applies the Indicators defaults to one observation, reporting
+// whether any threshold fired and the worst normalized excess in (0, 1].
+func congestion(obs autonomic.Observation) (bool, float64) {
+	st := obs.Engine
+	worst := 0.0
+	if st.MemPressure > 1.0 {
+		worst = max(worst, st.MemPressure-1.0)
+	}
+	if st.InEngine > 0 {
+		if f := float64(st.Blocked) / float64(st.InEngine); f > 0.4 {
+			worst = max(worst, f-0.4)
+		}
+	}
+	if st.ConflictRatio > 1.5 {
+		worst = max(worst, st.ConflictRatio-1.5)
+	}
+	if worst <= 0 {
+		return false, 0
+	}
+	return true, min(1, worst)
+}
+
+// StartMAPELoop runs the loop's RunOnce on a wall-clock ticker. Returns a
+// stop function.
+func StartMAPELoop(loop *autonomic.Loop, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				loop.RunOnce()
 			case <-done:
 				return
 			}

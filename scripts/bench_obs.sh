@@ -1,0 +1,113 @@
+#!/bin/sh
+# bench_obs.sh — price the flight recorder on the admission hot paths and
+# record the result into BENCH_obs.json.
+#
+# Four configurations are measured, recorder off and on for each path:
+#   - BenchmarkLiveAdmit / BenchmarkLiveAdmitRecorded: the plain striped-gate
+#     admit+done cycle.
+#   - BenchmarkPredictAdmit / BenchmarkPredictAdmitRecorded: the wire-speed
+#     prediction pipeline on a plan-cache hit.
+#
+# Acceptance gates (the script fails on violation):
+#   - recorder-off paths must not allocate, and the recorder-off predict
+#     admit must stay within 5% of the BENCH_predict.json baseline — the
+#     observability layer may not tax anyone who did not enable it;
+#   - recorder-on overhead must stay <= 250 ns/op and <= 1 alloc/op on both
+#     paths.
+# Run via `make bench-obs`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=$(go test -run '^$' \
+	-bench 'BenchmarkLiveAdmit$|BenchmarkLiveAdmitRecorded$|BenchmarkPredictAdmit$|BenchmarkPredictAdmitRecorded$' \
+	-benchmem -benchtime 200000x -count 3 ./internal/rt/)
+
+metric() { # metric <benchmark-name> <field: ns/op|allocs/op>; best of -count runs
+	printf '%s\n' "$OUT" | awk -v name="$1" -v field="$2" '
+		$1 ~ "^"name"(-[0-9]+)?$" {
+			for (i = 2; i < NF; i++) if ($(i + 1) == field && (best == "" || $i + 0 < best)) best = $i + 0
+		}
+		END { if (best != "") print best }'
+}
+
+LIVE_OFF_NS=$(metric "BenchmarkLiveAdmit" "ns/op")
+LIVE_OFF_ALLOCS=$(metric "BenchmarkLiveAdmit" "allocs/op")
+LIVE_ON_NS=$(metric "BenchmarkLiveAdmitRecorded" "ns/op")
+LIVE_ON_ALLOCS=$(metric "BenchmarkLiveAdmitRecorded" "allocs/op")
+PRED_OFF_NS=$(metric "BenchmarkPredictAdmit" "ns/op")
+PRED_OFF_ALLOCS=$(metric "BenchmarkPredictAdmit" "allocs/op")
+PRED_ON_NS=$(metric "BenchmarkPredictAdmitRecorded" "ns/op")
+PRED_ON_ALLOCS=$(metric "BenchmarkPredictAdmitRecorded" "allocs/op")
+NUM_CPU=$(nproc 2>/dev/null || echo 1)
+
+for v in "$LIVE_OFF_NS" "$LIVE_ON_NS" "$PRED_OFF_NS" "$PRED_ON_NS"; do
+	if [ -z "$v" ]; then
+		echo "bench_obs: missing benchmark output" >&2
+		printf '%s\n' "$OUT" >&2
+		exit 1
+	fi
+done
+
+# Gate 1: recorder off, nothing allocates.
+for pair in "live-admit:$LIVE_OFF_ALLOCS" "predict-admit:$PRED_OFF_ALLOCS"; do
+	name=${pair%%:*}
+	allocs=${pair##*:}
+	if [ "$allocs" != "0" ]; then
+		echo "bench_obs: recorder-off $name allocates $allocs allocs/op, want 0" >&2
+		exit 1
+	fi
+done
+
+# Gate 2: recorder off, the predict-admit cycle stays within 5% of the
+# BENCH_predict.json baseline (the recorder hooks are nil-checks only).
+BASE_NS=$(awk -F: '/"ns_per_op"/ { gsub(/[ ,]/, "", $2); print $2; exit }' BENCH_predict.json)
+if [ -n "$BASE_NS" ]; then
+	OVER=$(awk -v got="$PRED_OFF_NS" -v base="$BASE_NS" 'BEGIN { print (got > base * 1.05) ? 1 : 0 }')
+	if [ "$OVER" = "1" ]; then
+		echo "bench_obs: recorder-off predict admit $PRED_OFF_NS ns/op regresses >5% over baseline $BASE_NS ns/op" >&2
+		exit 1
+	fi
+else
+	echo "bench_obs: no BENCH_predict.json baseline; skipping regression gate" >&2
+fi
+
+# Gate 3: recorder on, overhead <= 250 ns/op and <= 1 alloc/op per cycle.
+check_overhead() { # check_overhead <name> <off-ns> <on-ns> <on-allocs>
+	delta=$(awk -v on="$3" -v off="$2" 'BEGIN { printf "%.1f", on - off }')
+	if [ "$(awk -v d="$delta" 'BEGIN { print (d > 250) ? 1 : 0 }')" = "1" ]; then
+		echo "bench_obs: recorder overhead on $1 is $delta ns/op, budget 250" >&2
+		exit 1
+	fi
+	if [ "$(awk -v a="$4" 'BEGIN { print (a > 1) ? 1 : 0 }')" = "1" ]; then
+		echo "bench_obs: recorder-on $1 allocates $4 allocs/op, budget 1" >&2
+		exit 1
+	fi
+	echo "$delta"
+}
+LIVE_DELTA=$(check_overhead "live admit" "$LIVE_OFF_NS" "$LIVE_ON_NS" "$LIVE_ON_ALLOCS")
+PRED_DELTA=$(check_overhead "predict admit" "$PRED_OFF_NS" "$PRED_ON_NS" "$PRED_ON_ALLOCS")
+
+cat > BENCH_obs.json <<EOF
+{
+  "benchmark": "flight-recorder cost on the admission hot paths (off vs on)",
+  "num_cpu": $NUM_CPU,
+  "baseline_predict_admit_ns": ${BASE_NS:-null},
+  "live_admit": {
+    "off_ns_per_op": $LIVE_OFF_NS,
+    "off_allocs_per_op": $LIVE_OFF_ALLOCS,
+    "on_ns_per_op": $LIVE_ON_NS,
+    "on_allocs_per_op": $LIVE_ON_ALLOCS,
+    "recorder_overhead_ns": $LIVE_DELTA
+  },
+  "predict_admit": {
+    "off_ns_per_op": $PRED_OFF_NS,
+    "off_allocs_per_op": $PRED_OFF_ALLOCS,
+    "on_ns_per_op": $PRED_ON_NS,
+    "on_allocs_per_op": $PRED_ON_ALLOCS,
+    "recorder_overhead_ns": $PRED_DELTA
+  }
+}
+EOF
+
+cat BENCH_obs.json
