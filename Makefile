@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race verify bench bench-live bench-predict bench-obs fuzz-short
+.PHONY: build test vet race lint verify bench bench-live bench-predict bench-obs fuzz-short
 
 build:
 	$(GO) build ./...
@@ -16,9 +16,15 @@ race:
 		./internal/admission/... ./internal/sqlmini/... ./internal/obsv/... \
 		./internal/rthttp/... ./internal/metrics/...
 
-# verify is the tier-1 gate: build, vet, full tests, and a race pass over
+# lint is the static-analysis gate: gofmt, go vet, and wlmlint — the suite
+# that machine-checks hotpath allocation-freedom, atomic field discipline,
+# replay determinism, and mutex guard contracts (DESIGN.md section 10).
+lint:
+	./scripts/lint.sh
+
+# verify is the tier-1 gate: build, lint, full tests, and a race pass over
 # the parallel experiment fan-out and the live runtime.
-verify: build vet test race
+verify: build lint test race
 
 # bench records kernel performance (engine benchmark ns/op + allocs/op and
 # benchtables wall time at GOMAXPROCS 1 and 2) into BENCH_kernel.json.

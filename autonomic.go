@@ -77,6 +77,8 @@ func EnableAutonomic(m *Manager, opts AutonomicOptions) *AutonomicManager {
 // Actions reports how many times each action kind has been executed.
 func (am *AutonomicManager) Actions() map[autonomic.ActionKind]int64 {
 	out := make(map[autonomic.ActionKind]int64, len(am.actions))
+	// Map-to-map copy: each key lands independently of visit order.
+	//dbwlm:sorted
 	for k, v := range am.actions {
 		out[k] = v
 	}
@@ -172,6 +174,8 @@ func (am *AutonomicManager) execute(actions []autonomic.PlannedAction) {
 // maybeResume resumes one suspended query per check while every workload
 // meets its SLO (one at a time, avoiding a resume stampede).
 func (am *AutonomicManager) maybeResume() {
+	// Universal all-met test: the answer is the same in any visit order.
+	//dbwlm:sorted
 	for _, att := range am.m.Attainments() {
 		if !att.Met {
 			return

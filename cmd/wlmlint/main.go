@@ -1,0 +1,76 @@
+// Command wlmlint runs dbwlm's in-tree static-analysis suite (internal/lint)
+// over the module: hotpath allocation checking, sync/atomic field discipline,
+// determinism linting, guarded-field verification, and the AllocsPerRun
+// coupling check. It exits 1 when any diagnostic survives suppression, so it
+// slots directly into make lint / make verify.
+//
+// Usage:
+//
+//	wlmlint [-json] [-run hotpath,detlint] [packages]
+//
+// Package arguments filter reporting ("./...", "./internal/rt",
+// "internal/sim/..."); analysis always covers the whole module because the
+// facts the analyzers share are cross-package.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dbwlm/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	dir := flag.String("C", ".", "directory inside the module to analyze")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: wlmlint [-json] [-run names] [-C dir] [packages]\n\nanalyzers:\n")
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	var analyzers []string
+	if *run != "" {
+		analyzers = strings.Split(*run, ",")
+	}
+
+	m, err := lint.LoadModule(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlmlint:", err)
+		os.Exit(2)
+	}
+	diags := lint.Run(m, lint.Options{
+		Analyzers: analyzers,
+		Packages:  flag.Args(),
+	})
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(os.Stderr, "wlmlint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "wlmlint: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

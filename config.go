@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"dbwlm/internal/admission"
 	"dbwlm/internal/characterize"
@@ -219,13 +220,20 @@ func (cfg *ConfigFile) Apply(m *Manager) error {
 	if a := cfg.Admission; a != nil {
 		var chain []admission.Controller
 		if len(a.CostLimits) > 0 {
+			// Validate in sorted name order so that a config with several
+			// invalid priority names always reports the same one.
+			names := make([]string, 0, len(a.CostLimits))
+			for name := range a.CostLimits {
+				names = append(names, name)
+			}
+			sort.Strings(names)
 			limits := make(map[policy.Priority]float64, len(a.CostLimits))
-			for name, lim := range a.CostLimits {
+			for _, name := range names {
 				pri, err := parsePriority(name)
 				if err != nil {
 					return err
 				}
-				limits[pri] = lim
+				limits[pri] = a.CostLimits[name]
 			}
 			chain = append(chain, &admission.CostThreshold{Limits: limits, QueueInstead: a.QueueOverCost})
 		}

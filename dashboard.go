@@ -31,6 +31,8 @@ type DashboardRow struct {
 func (m *Manager) Dashboard() string {
 	active := make(map[string]int)
 	suspended := make(map[string]int)
+	// Commutative counting; the rendered rows below iterate sorted names.
+	//dbwlm:sorted
 	for _, rr := range m.running {
 		switch rr.Query.State() {
 		case engine.StateSuspended, engine.StateSuspending:
@@ -120,6 +122,8 @@ func (m *Manager) DashboardRows() []DashboardRow {
 			Killed:       ws.Killed.Value(),
 			Resubmits:    ws.Resubmits.Value(),
 		}
+		// Commutative counting into the row's session tallies.
+		//dbwlm:sorted
 		for _, rr := range m.running {
 			if rr.Req.Workload != name {
 				continue

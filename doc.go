@@ -28,4 +28,6 @@
 // engine (internal/engine) and the synthetic workload generators
 // (internal/workload). See examples/ for runnable scenarios and bench_test.go
 // for the harnesses that regenerate every table and figure of the paper.
+//
+//dbwlm:deterministic
 package dbwlm

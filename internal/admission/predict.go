@@ -49,6 +49,8 @@ func BucketFromName(name string) (RuntimeBucket, bool) {
 const numBuckets = 4
 
 // BucketOf classifies an observed runtime.
+//
+//dbwlm:hotpath
 func BucketOf(seconds float64) RuntimeBucket {
 	switch {
 	case seconds < 1:
@@ -73,6 +75,8 @@ type FeatureVec [NumFeatures]float64
 // use (Ganapathi et al. [21]: properties available before a query runs — its
 // plan's estimates and its statement class). Allocation-free: the live admit
 // path extracts into a stack array.
+//
+//dbwlm:hotpath
 func FeaturesFrom(timerons, rows, memMB, ioMB float64, isRead bool, out *FeatureVec) {
 	read := 0.0
 	if isRead {
@@ -87,6 +91,8 @@ func FeaturesFrom(timerons, rows, memMB, ioMB float64, isRead bool, out *Feature
 
 // RequestFeaturesInto extracts a request's features into out without
 // allocating.
+//
+//dbwlm:hotpath
 func RequestFeaturesInto(r *workload.Request, out *FeatureVec) {
 	FeaturesFrom(r.Est.Timerons, r.Est.Rows, r.Est.MemMB, r.Est.IOMB, r.Type == sqlmini.StmtRead, out)
 }
@@ -293,6 +299,8 @@ func (p *KNNPredictor) Predict(r *workload.Request) float64 {
 // PredictSeconds predicts the runtime for an extracted feature vector; ok is
 // false before the first model lands. Lock-free and allocation-free — the
 // live admit path calls it on every request.
+//
+//dbwlm:hotpath
 func (p *KNNPredictor) PredictSeconds(f *FeatureVec) (seconds float64, ok bool) {
 	m := p.model.Load()
 	if m == nil {

@@ -164,6 +164,9 @@ func (lt *lockTable) detectDeadlock(blocked map[int64]int) []int64 {
 	arena := lt.dArena[:0]
 	clear(lt.dSpan)
 	clear(lt.dColor)
+	// Order laundered below: ids is sorted before the DFS and each id's
+	// arena span is sorted as it is built.
+	//dbwlm:sorted
 	for id, key := range blocked {
 		start := len(arena)
 		for holder := range lt.holders[key] {
@@ -230,6 +233,8 @@ func (lt *lockTable) detectDeadlock(blocked map[int64]int) []int64 {
 // exceeds a critical threshold (~1.3).
 func conflictRatio(queries map[int64]*Query) float64 {
 	var total, active int
+	// Commutative sums over all queries.
+	//dbwlm:sorted
 	for _, q := range queries {
 		n := len(q.held)
 		total += n

@@ -10,6 +10,8 @@
 // advances in fixed quanta of virtual time, and within each quantum CPU and
 // IO bandwidth are divided among runnable queries in proportion to their
 // priority weights.
+//
+//dbwlm:deterministic
 package engine
 
 import (

@@ -3,6 +3,8 @@
 // is a deterministic virtual-time simulation returning structured rows;
 // bench_test.go wraps them in testing.B benchmarks and cmd/benchtables prints
 // them as paper-style tables.
+//
+//dbwlm:deterministic
 package experiments
 
 import (

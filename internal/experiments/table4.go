@@ -54,6 +54,8 @@ func RunTable4Profile(p *governor.Profile, sc Table4Scenario) Row {
 	oltp := m.Stats().Workload("oltp")
 	met := 0
 	total := 0
+	// Commutative met/total counts.
+	//dbwlm:sorted
 	for wl := range m.Attainments() {
 		total++
 		if m.Attainment(wl).Met {

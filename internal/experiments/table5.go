@@ -101,6 +101,8 @@ func RunNiuScheduler(variant string, seed uint64) Row {
 		}
 		s.Every(10*sim.Second, func() bool {
 			limits := planner.Plan(loads)
+			// Each class's limit is set independently; order cannot matter.
+			//dbwlm:sorted
 			for class, lim := range limits {
 				dispatcher.SetLimit(class, lim)
 			}

@@ -38,6 +38,8 @@ type kdTree struct {
 // better reports whether neighbour (d1,i1) ranks before (d2,i2): nearer
 // first, distance ties broken by sample position. This total order is what
 // makes the k-nearest set unique and both predict paths identical.
+//
+//dbwlm:hotpath
 func better(d1 float64, i1 int32, d2 float64, i2 int32) bool {
 	return d1 < d2 || (d1 == d2 && i1 < i2)
 }
@@ -51,10 +53,13 @@ type kbest struct {
 	idx  [kMaxNeighbors]int32
 }
 
+//dbwlm:hotpath
 func (b *kbest) init(k int) { b.k, b.n, b.wi = k, 0, 0 }
 
 // bound is the pruning radius: the worst kept distance, or +Inf while the set
 // is not yet full.
+//
+//dbwlm:hotpath
 func (b *kbest) bound() float64 {
 	if b.n < b.k {
 		return math.Inf(1)
@@ -62,6 +67,7 @@ func (b *kbest) bound() float64 {
 	return b.d[b.wi]
 }
 
+//dbwlm:hotpath
 func (b *kbest) findWorst() {
 	b.wi = 0
 	for i := 1; i < b.n; i++ {
@@ -71,6 +77,7 @@ func (b *kbest) findWorst() {
 	}
 }
 
+//dbwlm:hotpath
 func (b *kbest) add(d float64, idx int32) {
 	if b.n < b.k {
 		b.d[b.n], b.idx[b.n] = d, idx
@@ -89,6 +96,8 @@ func (b *kbest) add(d float64, idx int32) {
 // mean sums the selected values in ascending sample-index order — a fixed
 // float addition order shared by both predict paths — and divides by the
 // count.
+//
+//dbwlm:hotpath
 func (b *kbest) mean(samples []RegSample) float64 {
 	// Insertion sort by sample index; k is small.
 	for i := 1; i < b.n; i++ {
@@ -174,6 +183,8 @@ func (t *kdTree) build(m *KNN, subset []int32) int32 {
 // far side only if the splitting plane is strictly closer than the current
 // bound (ties must descend — an equal-distance sample with a smaller index
 // can still displace the worst neighbour).
+//
+//dbwlm:hotpath
 func (t *kdTree) predict(m *KNN, features []float64) float64 {
 	var b kbest
 	b.init(min(m.k, len(m.samples)))

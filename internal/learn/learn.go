@@ -328,6 +328,7 @@ func TrainKNN(samples []RegSample, k int) *KNN {
 	return &KNN{k: k, samples: samples, lo: lo, hi: hi}
 }
 
+//dbwlm:hotpath
 func (m *KNN) dist(a, b []float64) float64 {
 	var d2 float64
 	for d := range a {
@@ -365,10 +366,13 @@ func TrainKNNIndexed(samples []RegSample, k int) *KNN {
 // built index the k-d tree prunes the search and the call performs no heap
 // allocation for k <= kMaxNeighbors; otherwise the samples are scanned
 // linearly. Both paths return bit-identical results.
+//
+//dbwlm:hotpath
 func (m *KNN) PredictValue(features []float64) float64 {
 	if m.tree != nil && m.k <= kMaxNeighbors {
 		return m.tree.predict(m, features)
 	}
+	//dbwlm:nolint hotpath -- exhaustive-scan fallback for oversized k or a treeless model; live models always take the tree path
 	return m.PredictValueLinear(features)
 }
 

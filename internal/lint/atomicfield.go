@@ -1,0 +1,92 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicField enforces sync/atomic discipline on plain integer fields: once
+// any site passes &s.f to a sync/atomic function, every other access to that
+// field must also be atomic — a single stray `s.f++` under no lock is a data
+// race the race detector only catches if a test happens to interleave it.
+// Fields of type atomic.Int64 et al. are safe by construction and ignored;
+// this check exists for the raw-word style.
+//
+// It additionally checks 64-bit alignment: a raw int64/uint64 field accessed
+// atomically must fall on an 8-byte offset under GOARCH=386/arm sizes, or the
+// first atomic access on a 32-bit platform faults.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "raw fields used with sync/atomic must be accessed atomically everywhere, and 64-bit ones must be alignment-safe on 32-bit targets",
+	Run:  runAtomicField,
+}
+
+// sizes32 models the strictest supported target: 4-byte words, 8-byte
+// alignment required for 64-bit atomics.
+var sizes32 = types.SizesFor("gc", "386")
+
+func runAtomicField(m *Module, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if m.atomicUse[n] {
+					return true
+				}
+				v, ok := pkg.Info.Uses[n.Sel].(*types.Var)
+				if !ok || !v.IsField() || !m.atomicFld[v] {
+					return true
+				}
+				diags = append(diags, m.diag("atomicfield", n.Pos(),
+					"non-atomic access to field %s, which is accessed with sync/atomic elsewhere", v.Name()))
+			case *ast.StructType:
+				diags = append(diags, m.checkAlignment(pkg, n)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// checkAlignment verifies that every atomically-accessed 64-bit field of the
+// struct sits at an 8-byte offset under 32-bit sizes.
+func (m *Module) checkAlignment(pkg *Package, st *ast.StructType) []Diagnostic {
+	tv, ok := pkg.Info.Types[st]
+	if !ok {
+		return nil
+	}
+	s, ok := tv.Type.Underlying().(*types.Struct)
+	if !ok || s.NumFields() == 0 {
+		return nil
+	}
+	fields := make([]*types.Var, s.NumFields())
+	for i := range fields {
+		fields[i] = s.Field(i)
+	}
+	offsets := sizes32.Offsetsof(fields)
+	var diags []Diagnostic
+	for i, fv := range fields {
+		if !m.atomicFld[fv] || !is64BitBasic(fv.Type()) {
+			continue
+		}
+		if offsets[i]%8 != 0 {
+			diags = append(diags, m.diag("atomicfield", fv.Pos(),
+				"64-bit atomic field %s at offset %d is misaligned on 32-bit targets (pad or reorder so the offset is a multiple of 8)",
+				fv.Name(), offsets[i]))
+		}
+	}
+	return diags
+}
+
+func is64BitBasic(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	switch b.Kind() {
+	case types.Int64, types.Uint64:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,227 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetLint enforces replay determinism in packages whose doc comment carries
+// //dbwlm:deterministic: the simulation engine, the experiment harness, and
+// the reporting surfaces must produce byte-identical output for identical
+// inputs (ROADMAP: "same seed, same bytes"). Inside such packages it flags:
+//
+//   - ranging over a map, unless the body only collects keys/values into a
+//     slice that is subsequently sorted (the collect-then-sort idiom, with
+//     else-less if filters allowed), or the range carries //dbwlm:sorted on
+//     its line or the line above, asserting order is laundered later
+//   - time.Now / time.Since / time.Until — wall-clock reads; deterministic
+//     code takes its clock from the simulation
+//   - the global math/rand state (rand.Intn, rand.Seed, ...) — seeded
+//     *rand.Rand values threaded through the code are fine
+//   - select statements with more than one ready-signal case, whose winner
+//     the runtime picks pseudo-randomly
+//
+// _test.go files are exempt: tests may use wall time and unordered iteration
+// freely without compromising replay.
+var DetLint = &Analyzer{
+	Name: "detlint",
+	Doc:  "forbid nondeterministic constructs in //dbwlm:deterministic packages",
+	Run:  runDetLint,
+}
+
+func runDetLint(m *Module, pkg *Package) []Diagnostic {
+	if !m.det[pkg] {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pkg.Files {
+		if f.Test {
+			continue
+		}
+		ast.Inspect(f.Ast, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if tv, ok := pkg.Info.Types[n.X]; ok && isMapType(tv.Type) {
+					line := m.Fset.Position(n.Pos()).Line
+					if f.sorted[line] || f.sorted[line-1] || sortedAfterCollect(pkg, n) {
+						return true
+					}
+					diags = append(diags, m.diag("detlint", n.Pos(),
+						"map iteration order is nondeterministic (sort the keys first, or mark the range //dbwlm:sorted if order is laundered later)"))
+				}
+			case *ast.CallExpr:
+				if d := detCall(m, pkg, n); d != "" {
+					diags = append(diags, m.diag("detlint", n.Pos(), "%s", d))
+				}
+			case *ast.SelectStmt:
+				if len(n.Body.List) > 1 {
+					diags = append(diags, m.diag("detlint", n.Pos(),
+						"multi-case select resolves ready cases pseudo-randomly"))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+func detCall(m *Module, pkg *Package, call *ast.CallExpr) string {
+	fn := calleeOf(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			return "time." + fn.Name() + " reads the wall clock; deterministic code must take its clock from the simulation"
+		}
+	case "math/rand", "math/rand/v2":
+		// Methods on a seeded *rand.Rand have a receiver; package-level
+		// functions draw from the global, runtime-seeded source.
+		if fn.Type().(*types.Signature).Recv() == nil {
+			return fn.Pkg().Name() + "." + fn.Name() + " uses the global random source; thread a seeded *rand.Rand instead"
+		}
+	}
+	return ""
+}
+
+// sortedAfterCollect recognizes the collect-then-sort idiom: the range body
+// only appends to slice variables, and every one of those slices is later
+// passed to a sort or slices ordering call in the same enclosing block list.
+func sortedAfterCollect(pkg *Package, rng *ast.RangeStmt) bool {
+	targets := appendTargets(pkg, rng.Body)
+	if len(targets) == 0 {
+		return false
+	}
+	// Find the statement list containing the range and scan what follows it.
+	var after []ast.Stmt
+	path := enclosingStmts(pkg, rng)
+	for _, stmts := range path {
+		for i, s := range stmts {
+			if s == ast.Stmt(rng) {
+				after = stmts[i+1:]
+			}
+		}
+	}
+	if after == nil {
+		return false
+	}
+	for v := range targets {
+		if !sortedIn(pkg, after, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// appendTargets collects slice variables the body appends into. A body doing
+// anything beyond append-to-slice — optionally behind else-less if filters,
+// which select an order-independent subset — disqualifies the idiom.
+func appendTargets(pkg *Package, body *ast.BlockStmt) map[*types.Var]bool {
+	targets := make(map[*types.Var]bool)
+	if !collectAppends(pkg, body.List, targets) || len(targets) == 0 {
+		return nil
+	}
+	return targets
+}
+
+// collectAppends accumulates append targets from stmts, admitting only
+// x = append(x, ...) assignments and else-less if statements whose bodies
+// satisfy the same rule recursively.
+func collectAppends(pkg *Package, stmts []ast.Stmt, targets map[*types.Var]bool) bool {
+	for _, s := range stmts {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			id, isIdent := ast.Unparen(s.Lhs[0]).(*ast.Ident)
+			call, isCall := s.Rhs[0].(*ast.CallExpr)
+			if !isIdent || !isCall || builtinOf(pkg.Info, call) != "append" {
+				return false
+			}
+			v, isVar := objOf(pkg.Info, id).(*types.Var)
+			if !isVar {
+				return false
+			}
+			targets[v] = true
+		case *ast.IfStmt:
+			if s.Init != nil || s.Else != nil || !collectAppends(pkg, s.Body.List, targets) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sortedIn reports whether stmts contains a sort.*/slices.Sort* call whose
+// first argument mentions v.
+func sortedIn(pkg *Package, stmts []ast.Stmt, v *types.Var) bool {
+	found := false
+	for _, s := range stmts {
+		ast.Inspect(s, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall || found {
+				return !found
+			}
+			fn := calleeOf(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "sort", "slices":
+			default:
+				return true
+			}
+			for _, arg := range call.Args {
+				mentions := false
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, isIdent := an.(*ast.Ident); isIdent && pkg.Info.Uses[id] == v {
+						mentions = true
+					}
+					return !mentions
+				})
+				if mentions {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingStmts yields every statement list in the file containing node n.
+func enclosingStmts(pkg *Package, n ast.Node) [][]ast.Stmt {
+	var lists [][]ast.Stmt
+	for _, f := range pkg.Files {
+		if f.Ast.FileStart <= n.Pos() && n.Pos() < f.Ast.FileEnd {
+			ast.Inspect(f.Ast, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.BlockStmt:
+					lists = append(lists, x.List)
+				case *ast.CaseClause:
+					lists = append(lists, x.Body)
+				case *ast.CommClause:
+					lists = append(lists, x.Body)
+				}
+				return true
+			})
+		}
+	}
+	return lists
+}
+
+// objOf resolves an identifier whether it defines or uses its object.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}

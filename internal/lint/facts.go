@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// Cross-package facts and the small pile of go/types helpers every analyzer
+// leans on.
+
+var (
+	guardedByRe = regexp.MustCompile(`(?i)\bguarded by\s+([A-Za-z_]\w*)`)
+	guardsRe    = regexp.MustCompile(`(?i)^\s*guards\s+(.+)`)
+)
+
+// buildFacts indexes the whole module once: which struct fields are accessed
+// through sync/atomic functions (and at which sites), and which fields are
+// declared mutex-guarded by comment.
+func (m *Module) buildFacts() {
+	m.atomicFld = make(map[*types.Var]bool)
+	m.atomicUse = make(map[ast.Node]bool)
+	m.guarded = make(map[*types.Var]string)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					m.recordAtomicCall(pkg, n)
+				case *ast.StructType:
+					m.recordGuardedFields(pkg, n)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// recordAtomicCall notes fields whose address is passed to a sync/atomic
+// function (atomic.AddInt64(&s.f, ...)): the field joins the must-be-atomic
+// set and the selector node is remembered as a legal access site.
+func (m *Module) recordAtomicCall(pkg *Package, call *ast.CallExpr) {
+	fn := calleeOf(pkg.Info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+		return
+	}
+	un, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+	if !ok || un.Op.String() != "&" {
+		return
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if v, ok := pkg.Info.Uses[sel.Sel].(*types.Var); ok && v.IsField() {
+		m.atomicFld[v] = true
+		m.atomicUse[sel] = true
+	}
+}
+
+// recordGuardedFields parses the two guarded-field comment conventions on a
+// struct literal type:
+//
+//	mu sync.Mutex // guards history and sinceFit
+//	q  []*waiter  // guarded by mu
+func (m *Module) recordGuardedFields(pkg *Package, st *ast.StructType) {
+	byName := make(map[string]*ast.Field)
+	for _, f := range st.Fields.List {
+		for _, n := range f.Names {
+			byName[n.Name] = f
+		}
+	}
+	for _, f := range st.Fields.List {
+		text := fieldComment(f)
+		if text == "" || len(f.Names) == 0 {
+			continue
+		}
+		if sub := guardedByRe.FindStringSubmatch(text); sub != nil {
+			m.markGuarded(pkg, f, sub[1])
+		}
+		if sub := guardsRe.FindStringSubmatch(text); sub != nil && isMutexField(f) {
+			mu := f.Names[0].Name
+			for _, name := range splitNameList(sub[1]) {
+				if gf := byName[name]; gf != nil {
+					m.markGuarded(pkg, gf, mu)
+				}
+			}
+		}
+	}
+}
+
+func (m *Module) markGuarded(pkg *Package, f *ast.Field, mu string) {
+	for _, n := range f.Names {
+		if v, ok := pkg.Info.Defs[n].(*types.Var); ok {
+			m.guarded[v] = mu
+		}
+	}
+}
+
+func fieldComment(f *ast.Field) string {
+	var parts []string
+	if f.Doc != nil {
+		parts = append(parts, f.Doc.Text())
+	}
+	if f.Comment != nil {
+		parts = append(parts, f.Comment.Text())
+	}
+	return strings.Join(parts, " ")
+}
+
+func isMutexField(f *ast.Field) bool {
+	sel, ok := f.Type.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "sync" && (sel.Sel.Name == "Mutex" || sel.Sel.Name == "RWMutex")
+}
+
+// splitNameList parses "history and sinceFit" / "a, b, and c" into names.
+func splitNameList(s string) []string {
+	s = strings.NewReplacer(",", " ", " and ", " ").Replace(s)
+	var names []string
+	for _, w := range strings.Fields(s) {
+		if isIdentWord(w) {
+			names = append(names, w)
+		} else {
+			break // prose trails off ("guards history during swaps")
+		}
+	}
+	return names
+}
+
+func isIdentWord(w string) bool {
+	for i, r := range w {
+		if r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || i > 0 && r >= '0' && r <= '9' {
+			continue
+		}
+		return false
+	}
+	return len(w) > 0
+}
+
+// ---- type-info helpers ----
+
+// calleeOf resolves the static callee of a call, nil for builtins,
+// conversions, and calls through function values.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[f].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[f.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// builtinOf resolves a call to a predeclared builtin ("make", "append", ...).
+func builtinOf(info *types.Info, call *ast.CallExpr) string {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return b.Name()
+		}
+	}
+	return ""
+}
+
+// isConversion reports whether a call expression is a type conversion.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isModuleFunc reports whether fn is declared in this module.
+func (m *Module) isModuleFunc(fn *types.Func) bool {
+	p := fn.Pkg()
+	if p == nil {
+		return false
+	}
+	return p.Path() == m.Path || strings.HasPrefix(p.Path(), m.Path+"/")
+}
+
+// pointerShaped reports whether boxing a value of type t into an interface
+// copies a single pointer word and therefore does not allocate.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// recvOf returns the receiver base expression of a method call selector
+// (x.mu.Lock() -> "x.mu") rendered as source text, or "".
+func recvOf(call *ast.CallExpr) (string, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	return types.ExprString(sel.X), sel.Sel.Name
+}

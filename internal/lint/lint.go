@@ -1,0 +1,230 @@
+// Package lint is dbwlm's in-tree static-analysis suite: five analyzers over
+// go/ast + go/types that machine-check the invariants the runtime's
+// correctness and performance rest on — zero-allocation hot paths, atomic
+// field discipline and 64-bit alignment, deterministic iteration in the
+// simulation/reporting packages, mutex-guarded field access, and the
+// coupling between AllocsPerRun tests and the hot paths they guard. The
+// driver (cmd/wlmlint) loads the whole module with full type information
+// using only the standard library, keeping go.mod dependency-free.
+//
+// See DESIGN.md §10 for the analyzer catalogue and the //dbwlm: annotation
+// vocabulary.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in module-relative file coordinates.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"` // relative to the module root
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Analyzer is one check. Run inspects a single package; cross-package facts
+// (annotation sets, atomic-field tables) are prebuilt on the Module.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(m *Module, pkg *Package) []Diagnostic
+}
+
+// Analyzers is the full suite, in reporting order.
+var Analyzers = []*Analyzer{
+	HotPath,
+	AtomicField,
+	DetLint,
+	GuardedBy,
+	NoEscapeTest,
+}
+
+var analyzerNames = func() map[string]bool {
+	names := make(map[string]bool, len(Analyzers))
+	for _, a := range Analyzers {
+		names[a.Name] = true
+	}
+	return names
+}()
+
+// Options tunes one Run.
+type Options struct {
+	// Analyzers filters by analyzer name (nil runs the full suite).
+	Analyzers []string
+	// Packages filters which packages' findings are reported, as import-path
+	// patterns relative to the module ("./...", "./internal/rt",
+	// "internal/rt/...", or full import paths). Analysis always loads and
+	// inspects the whole module — cross-package facts demand it — only the
+	// reporting is filtered. nil reports everything.
+	Packages []string
+}
+
+// Run executes the configured analyzers over the module and returns the
+// surviving findings: suppressed diagnostics are dropped (their suppressions
+// marked used), and — when the full suite runs unfiltered — unused
+// suppressions and malformed directives are reported as "directive" findings.
+func Run(m *Module, opts Options) []Diagnostic {
+	wantAnalyzer := func(string) bool { return true }
+	if len(opts.Analyzers) > 0 {
+		set := make(map[string]bool)
+		for _, n := range opts.Analyzers {
+			set[n] = true
+		}
+		wantAnalyzer = func(n string) bool { return set[n] }
+	}
+
+	var diags []Diagnostic
+	for _, a := range Analyzers {
+		if !wantAnalyzer(a.Name) {
+			continue
+		}
+		for _, pkg := range m.Pkgs {
+			diags = append(diags, a.Run(m, pkg)...)
+		}
+	}
+
+	// Apply suppressions: a //dbwlm:nolint comment silences matching
+	// analyzers on its own line and the line below it.
+	kept := diags[:0]
+	for _, d := range diags {
+		if m.suppressed(d) {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+
+	full := len(opts.Analyzers) == 0 && len(opts.Packages) == 0
+	if full {
+		diags = append(diags, m.dirDiags...)
+		for _, pkg := range m.Pkgs {
+			for _, f := range pkg.Files {
+				for i := range f.suppress {
+					if !f.suppress[i].used {
+						diags = append(diags, Diagnostic{
+							Analyzer: "directive",
+							File:     m.relFile(f.Name),
+							Line:     f.suppress[i].line,
+							Col:      1,
+							Message:  "unused //dbwlm:nolint suppression (nothing it suppresses fires here)",
+						})
+					}
+				}
+			}
+		}
+	}
+
+	if len(opts.Packages) > 0 {
+		match := m.packageMatcher(opts.Packages)
+		kept := diags[:0]
+		for _, d := range diags {
+			if match(d.File) {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+func (m *Module) suppressed(d Diagnostic) bool {
+	f := m.byFile[m.absFile(d.File)]
+	if f == nil {
+		return false
+	}
+	for i := range f.suppress {
+		s := &f.suppress[i]
+		if (s.line == d.Line || s.line == d.Line-1) && s.analyzers[d.Analyzer] {
+			s.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// packageMatcher compiles CLI package patterns into a predicate over
+// module-relative file paths.
+func (m *Module) packageMatcher(patterns []string) func(string) bool {
+	type pat struct {
+		dir string // module-relative package dir, "" = root
+		all bool   // trailing /...
+	}
+	var pats []pat
+	for _, p := range patterns {
+		p = strings.TrimPrefix(p, m.Path+"/")
+		p = strings.TrimPrefix(p, "./")
+		all := false
+		if p == "..." || p == m.Path {
+			p, all = "", true
+		}
+		if rest, ok := strings.CutSuffix(p, "/..."); ok {
+			p, all = rest, true
+		}
+		pats = append(pats, pat{dir: p, all: all})
+	}
+	return func(file string) bool {
+		dir := ""
+		if i := strings.LastIndexByte(file, '/'); i >= 0 {
+			dir = file[:i]
+		}
+		for _, p := range pats {
+			if p.all {
+				if p.dir == "" || dir == p.dir || strings.HasPrefix(dir, p.dir+"/") {
+					return true
+				}
+			} else if dir == p.dir {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// diag builds a Diagnostic at a token position.
+func (m *Module) diag(analyzer string, pos token.Pos, format string, args ...any) Diagnostic {
+	p := m.Fset.Position(pos)
+	return Diagnostic{
+		Analyzer: analyzer,
+		File:     m.relFile(p.Filename),
+		Line:     p.Line,
+		Col:      p.Column,
+		Message:  fmt.Sprintf(format, args...),
+	}
+}
+
+func (m *Module) relFile(name string) string {
+	if rel, ok := strings.CutPrefix(name, m.Dir+"/"); ok {
+		return rel
+	}
+	return name
+}
+
+func (m *Module) absFile(rel string) string {
+	if strings.HasPrefix(rel, "/") {
+		return rel
+	}
+	return m.Dir + "/" + rel
+}

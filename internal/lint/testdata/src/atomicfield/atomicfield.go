@@ -1,0 +1,41 @@
+// Package atomicfield exercises the atomic-discipline analyzer: a field
+// passed to sync/atomic anywhere must be accessed atomically everywhere, and
+// 64-bit atomic fields must stay 8-aligned under 32-bit struct layout.
+package atomicfield
+
+import "sync/atomic"
+
+type stats struct {
+	hits int64
+	name string
+}
+
+func bump(s *stats) {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func read(s *stats) int64 {
+	return s.hits // want `non-atomic access to field hits`
+}
+
+func label(s *stats) string {
+	return s.name // never touched atomically: allowed
+}
+
+type misaligned struct {
+	flag bool
+	n    int64 // want `64-bit atomic field n at offset 4 is misaligned`
+}
+
+func bumpN(m *misaligned) int64 {
+	return atomic.AddInt64(&m.n, 1)
+}
+
+type aligned struct {
+	n    int64
+	flag bool
+}
+
+func bumpAligned(a *aligned) int64 {
+	return atomic.AddInt64(&a.n, 1)
+}

@@ -1,0 +1,69 @@
+// Package detlint exercises the determinism analyzer: the directive below
+// opts the whole package in, so wall clocks, global randomness, unordered
+// map ranges, and racy selects all fire.
+//
+//dbwlm:deterministic
+package detlint
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // collect-then-sort with an if filter: allowed
+		if k != "" {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sum(m map[string]int) int {
+	total := 0
+	// Commutative accumulation.
+	//dbwlm:sorted
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func lengths(m map[string]int) int {
+	n := 0
+	for k := range m { // want `map iteration order is nondeterministic`
+		n += len(k)
+	}
+	return n
+}
+
+func stamp() time.Time {
+	return time.Now() // want `time.Now reads the wall clock`
+}
+
+func roll() int {
+	return rand.Intn(6) // want `rand.Intn uses the global random source`
+}
+
+func seeded(r *rand.Rand) int {
+	return r.Intn(6) // a threaded, seeded source: allowed
+}
+
+func race(a, b chan int) int {
+	select { // want `multi-case select resolves ready cases pseudo-randomly`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+func waitOne(a chan int) int {
+	select {
+	case v := <-a:
+		return v
+	}
+}

@@ -1,0 +1,38 @@
+// Package directives exercises directive parsing and suppression hygiene:
+// misplaced or malformed //dbwlm: comments are findings in their own right,
+// and a suppression that suppresses nothing is dead weight to be removed.
+package directives
+
+func misplacedInBody() int {
+	//dbwlm:hotpath
+	// want[-1] `misplaced //dbwlm:hotpath`
+	return 1
+}
+
+// det is a function, not a package clause.
+//
+//dbwlm:deterministic
+func det() {
+	// want[-2] `misplaced //dbwlm:deterministic`
+}
+
+//dbwlm:frobnicate
+// want[-1] `unknown directive //dbwlm:frobnicate`
+
+func noReason() int {
+	//dbwlm:nolint hotpath
+	// want[-1] `needs a justification`
+	return 1
+}
+
+func unknownAnalyzer() int {
+	//dbwlm:nolint sparklint -- no such analyzer
+	// want[-1] `names unknown analyzer sparklint`
+	return 1
+}
+
+func unusedSuppression() int {
+	//dbwlm:nolint detlint -- nothing below ranges a map
+	// want[-1] `unused //dbwlm:nolint suppression`
+	return 1
+}

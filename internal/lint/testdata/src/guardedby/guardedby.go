@@ -1,0 +1,63 @@
+// Package guardedby exercises the lock-discipline analyzer: fields declared
+// guarded must only be touched with their mutex held, and functions whose
+// contract says the caller holds the lock must only be called under it.
+package guardedby
+
+import "sync"
+
+type table struct {
+	mu   sync.Mutex // guards n and rows
+	n    int
+	rows []string
+	cold int // unguarded: allowed anywhere
+}
+
+func (t *table) grow() {
+	t.mu.Lock()
+	t.n++
+	t.mu.Unlock()
+}
+
+func (t *table) size() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+func (t *table) skip() {
+	t.n++ // want `access to n without holding t.mu`
+}
+
+func (t *table) readRows() int {
+	return len(t.rows) // want `access to rows without holding t.mu`
+}
+
+func (t *table) touchCold() {
+	t.cold++
+}
+
+// bump appends one row. Caller holds mu.
+func (t *table) bump(row string) {
+	t.rows = append(t.rows, row)
+	t.n++
+}
+
+// reset clears the table.
+//
+//dbwlm:locked mu
+func (t *table) reset() {
+	t.rows = nil
+	t.n = 0
+}
+
+func (t *table) callsBump() {
+	t.bump("x") // want `call to bump requires t.mu held`
+	t.reset()   // want `call to reset requires t.mu held`
+}
+
+func (t *table) lockedCalls() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bump("y")
+	t.reset()
+}

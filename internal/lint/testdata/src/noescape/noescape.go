@@ -1,0 +1,9 @@
+// Package noescape exercises the AllocsPerRun guard: a zero-allocation
+// assertion must exercise a //dbwlm:hotpath function, coupling the dynamic
+// test to the static analyzer.
+package noescape
+
+//dbwlm:hotpath
+func hotAdd(a, b int) int { return a + b }
+
+func coldAdd(a, b int) int { return a + b }

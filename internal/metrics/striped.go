@@ -34,6 +34,8 @@ func stripeShards() int {
 // random state (math/rand/v2's global functions): writers spread uniformly
 // across shards, which bounds the expected collision rate at
 // writers/shards per instant.
+//
+//dbwlm:hotpath
 func stripeIdx(mask uint32) uint32 { return rand.Uint32() & mask }
 
 // counterShard is one padded counter cell. The padding keeps two shards from
@@ -59,9 +61,13 @@ func NewStripedCounter(shards int) *StripedCounter {
 }
 
 // Inc adds one.
+//
+//dbwlm:hotpath
 func (c *StripedCounter) Inc() { c.shards[stripeIdx(c.mask)].v.Add(1) }
 
 // Add adds delta (which must be nonnegative; merged reads assume monotony).
+//
+//dbwlm:hotpath
 func (c *StripedCounter) Add(delta int64) {
 	if delta < 0 {
 		panic("metrics: StripedCounter.Add with negative delta")
@@ -70,6 +76,8 @@ func (c *StripedCounter) Add(delta int64) {
 }
 
 // Value merges the shards.
+//
+//dbwlm:hotpath
 func (c *StripedCounter) Value() int64 {
 	var sum int64
 	for i := range c.shards {
@@ -86,9 +94,13 @@ type AtomicGauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//dbwlm:hotpath
 func (g *AtomicGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Value reports the current gauge value.
+//
+//dbwlm:hotpath
 func (g *AtomicGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
 
 // Striped-histogram bucket layout: logarithmic buckets with a fixed growth
@@ -103,6 +115,7 @@ const (
 
 var stripedLogG = math.Log(stripedGrowth)
 
+//dbwlm:hotpath
 func stripedBucketIndex(v float64) int {
 	if v <= stripedBase {
 		return 0
@@ -114,6 +127,7 @@ func stripedBucketIndex(v float64) int {
 	return i
 }
 
+//dbwlm:hotpath
 func stripedBucketUpper(i int) float64 {
 	if i == 0 {
 		return stripedBase
@@ -135,6 +149,7 @@ type histShard struct {
 	_       [64]byte
 }
 
+//dbwlm:hotpath
 func (s *histShard) record(v float64) {
 	s.buckets[stripedBucketIndex(v)].Add(1)
 	s.count.Add(1)
@@ -187,6 +202,8 @@ func NewStripedHistogram(shards int) *StripedHistogram {
 
 // Record adds a value. Negative and NaN values are clamped to zero, huge
 // values to the last bucket — same policy as Histogram.Record.
+//
+//dbwlm:hotpath
 func (h *StripedHistogram) Record(v float64) {
 	if math.IsNaN(v) || v < 0 {
 		v = 0
@@ -206,6 +223,7 @@ type merged struct {
 	min, max float64
 }
 
+//dbwlm:hotpath
 func (h *StripedHistogram) merge() merged {
 	m := merged{min: math.Inf(1), max: math.Inf(-1)}
 	for i := range h.shards {
@@ -234,6 +252,7 @@ func (h *StripedHistogram) merge() merged {
 	return m
 }
 
+//dbwlm:hotpath
 func (m *merged) percentile(p float64) float64 {
 	if m.count == 0 {
 		return 0
@@ -263,6 +282,8 @@ func (m *merged) percentile(p float64) float64 {
 }
 
 // Count reports the merged number of recorded values.
+//
+//dbwlm:hotpath
 func (h *StripedHistogram) Count() int64 {
 	var sum int64
 	for i := range h.shards {
@@ -272,6 +293,8 @@ func (h *StripedHistogram) Count() int64 {
 }
 
 // Mean reports the merged arithmetic mean, or 0 when empty.
+//
+//dbwlm:hotpath
 func (h *StripedHistogram) Mean() float64 {
 	m := h.merge()
 	if m.count == 0 {
@@ -280,7 +303,13 @@ func (h *StripedHistogram) Mean() float64 {
 	return m.sum / float64(m.count)
 }
 
-// Sum reports the merged sum of recorded values.
+// Sum reports the merged sum of recorded values. Striping randomizes which
+// shard each value lands in, so the floating-point association order — and
+// with it the last ulp of the result — varies between runs; byte-stable
+// consumers (golden tests) must record values whose sums are exact in any
+// order.
+//
+//dbwlm:hotpath
 func (h *StripedHistogram) Sum() float64 {
 	var sum float64
 	for i := range h.shards {
@@ -298,6 +327,8 @@ func (h *StripedHistogram) Sum() float64 {
 // inclusive upper bound and the running cumulative count — the shape of a
 // Prometheus histogram's le series. Returns the merged total count and sum
 // (the _count and _sum samples).
+//
+//dbwlm:hotpath
 func (h *StripedHistogram) Cumulative(f func(upperBound float64, cumulative int64)) (count int64, sum float64) {
 	m := h.merge()
 	var cum int64
@@ -312,6 +343,8 @@ func (h *StripedHistogram) Cumulative(f func(upperBound float64, cumulative int6
 }
 
 // Snapshot merges the shards into a reporting summary.
+//
+//dbwlm:hotpath
 func (h *StripedHistogram) Snapshot() Snapshot {
 	m := h.merge()
 	if m.count == 0 {

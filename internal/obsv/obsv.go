@@ -235,6 +235,7 @@ type slot struct {
 	aux  atomic.Uint64 // Aux float bits
 }
 
+//dbwlm:hotpath
 func packMeta(e *Event) uint64 {
 	return uint64(e.Kind) | uint64(e.Reason)<<8 | uint64(e.Verdict)<<16 |
 		uint64(uint32(e.Class))<<32
@@ -311,6 +312,8 @@ func (r *Recorder) Cap() int {
 // Record stores one event. Safe on a nil receiver (drops the event); never
 // blocks, never allocates — a cursor fetch-add and seven atomic word stores
 // on a shard chosen from the per-thread fast random state.
+//
+//dbwlm:hotpath
 func (r *Recorder) Record(e Event) {
 	if r == nil {
 		return

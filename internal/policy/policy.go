@@ -26,6 +26,8 @@ const (
 )
 
 // String names the priority.
+//
+//dbwlm:hotpath
 func (p Priority) String() string {
 	switch p {
 	case PriorityLow:
@@ -37,6 +39,7 @@ func (p Priority) String() string {
 	case PriorityCritical:
 		return "critical"
 	default:
+		//dbwlm:nolint hotpath -- unreachable for the four declared priorities; formats only corrupt values
 		return fmt.Sprintf("Priority(%d)", int(p))
 	}
 }

@@ -51,11 +51,15 @@ func newGate(shards int, lim gateLimits) *gate {
 
 // stripeIdx picks a home shard from the runtime's per-thread fast random
 // state — allocation-free and lock-free (see metrics.stripeIdx for why).
+//
+//dbwlm:hotpath
 func stripeIdx(mask uint32) uint32 { return rand.Uint32() & mask }
 
 // shardCap is shard i's slice of the MPL limit: limit/shards with the
 // remainder spread over the lowest-indexed shards, so the caps sum to
 // exactly the limit.
+//
+//dbwlm:hotpath
 func shardCap(limit int64, shards, i int) int64 {
 	c := limit / int64(shards)
 	if int64(i) < limit%int64(shards) {
@@ -67,6 +71,8 @@ func shardCap(limit int64, shards, i int) int64 {
 // tryEnter takes one admission slot, returning the shard it was taken from,
 // or -1 when every shard is at its cap (the gate is full). With no MPL limit
 // the home shard is incremented unconditionally.
+//
+//dbwlm:hotpath
 func (g *gate) tryEnter() int32 {
 	lim := g.limits.Load()
 	home := int(stripeIdx(g.mask))
@@ -92,9 +98,13 @@ func (g *gate) tryEnter() int32 {
 }
 
 // leave releases a slot taken by tryEnter.
+//
+//dbwlm:hotpath
 func (g *gate) leave(shard int32) { g.shards[shard].n.Add(-1) }
 
 // occupancy merges the shard counters: the number of current slot holders.
+//
+//dbwlm:hotpath
 func (g *gate) occupancy() int64 {
 	var sum int64
 	for i := range g.shards {

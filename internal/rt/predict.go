@@ -81,6 +81,8 @@ func (g *PredictGate) MaxBucket() admission.RuntimeBucket { return g.maxBucket }
 // A non-nil error means the statement did not parse; a RejectedPredicted
 // grant means the model forecast a runtime beyond MaxBucket. Admitted grants
 // must be released via Done (or ObserveDone, to also feed the model).
+//
+//dbwlm:hotpath
 func (g *PredictGate) AdmitSQL(class ClassID, sql string) (Grant, Prediction, error) {
 	e, hit, err := g.cache.PlanInfo(sql)
 	if err != nil {

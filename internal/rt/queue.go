@@ -25,7 +25,7 @@ var waiterPool = sync.Pool{New: func() any { return &waiter{ch: make(chan Grant,
 // closed (or a retry cycle runs), never on the lock-free admit/release fast
 // path, so a cheap lock here buys strict FIFO-within-class ordering.
 type waitQueue struct {
-	mu   sync.Mutex
+	mu   sync.Mutex // guards q and head
 	q    []*waiter
 	head int
 }

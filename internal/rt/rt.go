@@ -179,6 +179,7 @@ func (r *Runtime) Recorder() *obsv.Recorder { return r.rec }
 // atomicBool avoids importing sync/atomic here just for one flag.
 type atomicBool struct{ v metrics.AtomicGauge }
 
+//dbwlm:hotpath
 func (b *atomicBool) Store(on bool) {
 	if on {
 		b.v.Set(1)
@@ -186,6 +187,8 @@ func (b *atomicBool) Store(on bool) {
 		b.v.Set(0)
 	}
 }
+
+//dbwlm:hotpath
 func (b *atomicBool) Load() bool { return b.v.Value() != 0 }
 
 // New builds a runtime over the given class table. The table is fixed for
@@ -268,6 +271,8 @@ func (r *Runtime) NowNanos() int64 { return r.now() }
 
 // ElapsedSeconds reports how long an admitted Grant has been held — the
 // service time the /done path feeds back into the prediction models.
+//
+//dbwlm:hotpath
 func (r *Runtime) ElapsedSeconds(g Grant) float64 {
 	if g.verdict != Admitted {
 		return 0
@@ -279,6 +284,8 @@ func (r *Runtime) ElapsedSeconds(g Grant) float64 {
 // queued. The steady-state path — gate open, no waiters — is lock-free and
 // allocation-free: a limit-block load, a CAS on a padded gate shard, and
 // striped counter increments.
+//
+//dbwlm:hotpath
 func (r *Runtime) Admit(class ClassID, costTimerons float64) Grant {
 	return r.admitWith(class, costTimerons, 0, 0)
 }
@@ -286,6 +293,8 @@ func (r *Runtime) Admit(class ClassID, costTimerons float64) Grant {
 // admitWith is Admit plus the prediction pipeline's trace context: the
 // statement fingerprint and predicted service seconds travel into the
 // flight-recorder events (both zero on the plain Admit path).
+//
+//dbwlm:hotpath
 func (r *Runtime) admitWith(class ClassID, costTimerons float64, fp uint64, predicted float64) Grant {
 	cs := r.classes[class]
 	lim := cs.gate.limits.Load()
@@ -322,6 +331,7 @@ func (r *Runtime) admitWith(class ClassID, costTimerons float64, fp uint64, pred
 			r.global.leave(gs)
 		}
 	}
+	//dbwlm:nolint hotpath -- the queued slow path: once a request must park, the channel wait dwarfs the waiter-pool setup
 	return r.await(cs, class, costTimerons, qid, fp, predicted, gated)
 }
 
@@ -359,6 +369,8 @@ func (r *Runtime) await(cs *classState, class ClassID, cost float64, qid int64, 
 // waiters are drained if any. Calling Done on a non-admitted Grant is a
 // no-op; calling it twice on the same Grant corrupts the gate — the runtime
 // is a cooperative gate, not a hostile-client guard.
+//
+//dbwlm:hotpath
 func (r *Runtime) Done(g Grant, idealSeconds float64) {
 	if g.verdict != Admitted {
 		return
@@ -382,6 +394,7 @@ func (r *Runtime) Done(g Grant, idealSeconds float64) {
 	cs.gate.leave(g.shard)
 	r.global.leave(g.gshard)
 	if cs.gate.waiters.Load() > 0 {
+		//dbwlm:nolint hotpath -- waiters parked means the uncontended fast path is already gone; drain takes the queue mutex by design
 		r.drain(cs, g.class, false)
 	}
 }
@@ -607,6 +620,8 @@ type ClassStats struct {
 }
 
 // StatsOf merges one class's shards.
+//
+//dbwlm:hotpath
 func (r *Runtime) StatsOf(id ClassID) ClassStats {
 	cs := r.classes[id]
 	return ClassStats{
@@ -632,8 +647,11 @@ func (r *Runtime) Snapshot() []ClassStats { return r.SnapshotInto(nil) }
 // array when it is large enough — the monitoring loop's scratch-buffer path,
 // which allocates nothing once the buffer is warm (nil or short buffers grow
 // as Snapshot would).
+//
+//dbwlm:hotpath
 func (r *Runtime) SnapshotInto(buf []ClassStats) []ClassStats {
 	if cap(buf) < len(r.classes) {
+		//dbwlm:nolint hotpath -- cold-buffer growth: runs once per caller, after which the scratch buffer is reused
 		buf = make([]ClassStats, len(r.classes))
 	}
 	buf = buf[:len(r.classes)]

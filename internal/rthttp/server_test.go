@@ -86,6 +86,53 @@ func TestJSONEverywhere(t *testing.T) {
 	}
 }
 
+// TestStatsPolicyByteStable: two servers driven through the same admit
+// sequence serve byte-identical /stats and /policy documents, and repeated
+// GETs against a quiescent server never change a byte. This pins the
+// map-order audit on the HTTP surface the same way TestDashboardDeterministic
+// pins the simulated dashboard: any map-order iteration feeding these
+// replies shows up here as flaky bytes. (The sequence uses admits only —
+// completions record wall-clock latencies, which are real nondeterminism,
+// not rendering nondeterminism.)
+func TestStatsPolicyByteStable(t *testing.T) {
+	drive := func() *httptest.Server {
+		_, srv := newTestServer(t, rt.Options{})
+		for i := 0; i < 6; i++ {
+			class := []string{"interactive", "reporting", "batch"}[i%3]
+			resp, err := http.PostForm(srv.URL+"/admit", url.Values{"class": {class}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+		return srv
+	}
+	get := func(srv *httptest.Server, path string) []byte {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d (%s)", path, resp.StatusCode, body)
+		}
+		return body
+	}
+	a, b := drive(), drive()
+	for _, path := range []string{"/stats", "/policy"} {
+		first := get(a, path)
+		for i := 0; i < 3; i++ {
+			if again := get(a, path); !bytes.Equal(first, again) {
+				t.Fatalf("GET %s changed between reads:\n%s\nvs\n%s", path, first, again)
+			}
+		}
+		if other := get(b, path); !bytes.Equal(first, other) {
+			t.Fatalf("GET %s differs across identically-driven servers:\n%s\nvs\n%s", path, first, other)
+		}
+	}
+}
+
 // TestMethodNotAllowed: a wrong method gets a JSON 405 plus the Allow header
 // listing what the path supports.
 func TestMethodNotAllowed(t *testing.T) {

@@ -6,6 +6,8 @@
 // the start of the run. Events are ordered by (time, insertion sequence), so
 // two events scheduled for the same instant fire in the order they were
 // scheduled, which keeps every run bit-for-bit reproducible.
+//
+//dbwlm:deterministic
 package sim
 
 import (
@@ -53,6 +55,8 @@ func (d Duration) String() string {
 func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 
 // Add offsets a time by a duration.
+//
+//dbwlm:hotpath
 func (t Time) Add(d Duration) Time { return t + Time(d) }
 
 // Sub reports the duration elapsed from u to t.
@@ -207,12 +211,15 @@ func (s *Simulator) ScheduleDetached(delay Duration, fn func()) {
 // recycle returns a fired (or discarded-canceled) detached event to the free
 // list. Non-detached events may still be referenced by their scheduler and
 // are left to the garbage collector.
+//
+//dbwlm:hotpath
 func (s *Simulator) recycle(e *Event) {
 	if !e.detached {
 		return
 	}
 	e.fn = nil
 	e.sim = nil
+	//dbwlm:nolint hotpath -- free-list append reuses pooled capacity in steady state; growth is amortized across the run
 	s.free = append(s.free, e)
 }
 
@@ -291,6 +298,8 @@ func (s *Simulator) Every(interval Duration, fn func() bool) (stop func()) {
 }
 
 // Step fires the next event. It reports false when no events remain.
+//
+//dbwlm:hotpath
 func (s *Simulator) Step() bool {
 	for len(s.events) > 0 {
 		e := heap.Pop(&s.events).(*Event)
@@ -311,6 +320,8 @@ func (s *Simulator) Step() bool {
 // Run fires events until the event queue is empty or virtual time would pass
 // until. It returns the number of events fired. Time is left at min(until,
 // time of last event fired).
+//
+//dbwlm:hotpath
 func (s *Simulator) Run(until Time) int {
 	prevHorizon, prevSet := s.horizon, s.horizonSet
 	s.horizon, s.horizonSet = until, true

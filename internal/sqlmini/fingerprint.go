@@ -43,11 +43,13 @@ type fpState struct {
 	h1, h2 uint64
 }
 
+//dbwlm:hotpath
 func (s *fpState) writeByte(b byte) {
 	s.h1 = (s.h1 ^ uint64(b)) * fnvPrime64
 	s.h2 = (s.h2 ^ uint64(b)) * fnvPrime64
 }
 
+//dbwlm:hotpath
 func (s *fpState) writeString(str string) {
 	for i := 0; i < len(str); i++ {
 		s.writeByte(str[i])
@@ -64,6 +66,8 @@ const (
 
 // upperByte uppercases ASCII letters (keywords hash case-insensitively, as
 // Lex uppercases them).
+//
+//dbwlm:hotpath
 func upperByte(b byte) byte {
 	if b >= 'a' && b <= 'z' {
 		return b - 'a' + 'A'
@@ -84,6 +88,8 @@ func upperByte(b byte) byte {
 //     number immediately following LIMIT or inside a LOAD statement (those
 //     change the plan's cost, not just its bindings)
 //   - symbols hash verbatim
+//
+//dbwlm:hotpath
 func FingerprintSQL(input string) Fingerprint {
 	s := fpState{h1: fnvOffset64, h2: fnvOffsetAlt}
 	i, n := 0, len(input)

@@ -110,6 +110,7 @@ func Lex(input string) ([]Token, error) {
 	return toks, nil
 }
 
+//dbwlm:hotpath
 func isIdentByte(b byte) bool {
 	return b == '_' || b >= '0' && b <= '9' || b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z'
 }

@@ -98,11 +98,15 @@ func NewPlanCache(model *CostModel, capacity, shards int) *PlanCache {
 
 // shardOf picks the home shard from the high lane so the map key (the low
 // lane) stays fully discriminating within the shard.
+//
+//dbwlm:hotpath
 func (c *PlanCache) shardOf(fp Fingerprint) *planShard {
 	return &c.shards[uint32(fp.Hi)&c.mask]
 }
 
 // Lookup returns the cached plan for a fingerprint, or nil. Allocation-free.
+//
+//dbwlm:hotpath
 func (c *PlanCache) Lookup(fp Fingerprint) *CachedPlan {
 	sh := c.shardOf(fp)
 	if e := (*sh.entries.Load())[fp.Lo]; e != nil && e.FP == fp {
@@ -117,19 +121,29 @@ func (c *PlanCache) Lookup(fp Fingerprint) *CachedPlan {
 // Plan resolves one SQL statement through the cache: fingerprint, lock-free
 // lookup, and on miss parse+plan+insert. The returned CachedPlan is shared —
 // read-only to callers.
+//
+//dbwlm:hotpath
 func (c *PlanCache) Plan(sql string) (*CachedPlan, error) {
 	e, _, err := c.PlanInfo(sql)
 	return e, err
 }
 
 // PlanInfo is Plan plus whether the statement hit the cache.
+//
+//dbwlm:hotpath
 func (c *PlanCache) PlanInfo(sql string) (entry *CachedPlan, hit bool, err error) {
 	fp := FingerprintSQL(sql)
 	if e := c.Lookup(fp); e != nil {
 		return e, true, nil
 	}
-	// Miss: build outside the shard lock. Concurrent misses on the same shape
-	// may plan twice; last store wins and both results are identical.
+	//dbwlm:nolint hotpath -- a cache miss pays parse+plan+insert by definition; the steady state is the hit path above
+	return c.planMiss(fp, sql)
+}
+
+// planMiss is the cold half of PlanInfo: parse, plan, and insert, all outside
+// the shard lock. Concurrent misses on the same shape may plan twice; last
+// store wins and both results are identical.
+func (c *PlanCache) planMiss(fp Fingerprint, sql string) (entry *CachedPlan, hit bool, err error) {
 	p, err := c.model.PlanSQL(sql)
 	if err != nil {
 		// Errors are not cached: error shapes are rare, and a poisoned entry

@@ -4,6 +4,8 @@
 // repository, and renderers for the paper's tables. cmd/taxonomy prints the
 // tree and tables; the Figure-1 benchmark asserts every leaf has at least
 // one working implementation.
+//
+//dbwlm:deterministic
 package taxonomy
 
 import (

@@ -36,6 +36,8 @@ type Estimates struct {
 }
 
 // TimeronsOf computes the composite cost from CPU and IO components.
+//
+//dbwlm:hotpath
 func TimeronsOf(cpuSeconds, ioMB float64) float64 {
 	return cpuSeconds*1000 + ioMB*10
 }

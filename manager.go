@@ -350,6 +350,8 @@ func (m *Manager) Attainment(name string) policy.Attainment {
 // Attainments evaluates every known workload.
 func (m *Manager) Attainments() map[string]policy.Attainment {
 	out := make(map[string]policy.Attainment, len(m.slos))
+	// Map-to-map evaluation: each workload's attainment is independent.
+	//dbwlm:sorted
 	for name := range m.slos {
 		out[name] = m.Attainment(name)
 	}

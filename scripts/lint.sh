@@ -1,0 +1,24 @@
+#!/bin/sh
+# lint.sh — the static-analysis gate: gofmt, go vet, and wlmlint.
+#
+# wlmlint (cmd/wlmlint) machine-checks the module's own invariants: hotpath
+# allocation-freedom, sync/atomic field discipline, replay determinism,
+# mutex guard contracts, and the coupling between AllocsPerRun==0 tests and
+# //dbwlm:hotpath annotations. Run via `make lint` from the repository root;
+# `make verify` includes it.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+# gofmt over the whole tree, fixture corpus included (fixtures are real
+# parsed Go and drift just as easily).
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt: the following files need formatting:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
+
+go vet ./...
+
+go run ./cmd/wlmlint ./...
