@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint verify bench bench-live bench-predict bench-obs fuzz-short
+.PHONY: build test vet race lint verify bench bench-live bench-predict bench-obs bench-wire fuzz-short
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,8 @@ test:
 race:
 	$(GO) test -race ./internal/experiments/... ./internal/rt/... ./cmd/wlmd/... \
 		./internal/admission/... ./internal/sqlmini/... ./internal/obsv/... \
-		./internal/rthttp/... ./internal/metrics/...
+		./internal/rthttp/... ./internal/metrics/... ./internal/wire/... \
+		./cmd/wlmload/...
 
 # lint is the static-analysis gate: gofmt, go vet, and wlmlint — the suite
 # that machine-checks hotpath allocation-freedom, atomic field discipline,
@@ -50,7 +51,15 @@ bench-predict:
 bench-obs:
 	./scripts/bench_obs.sh
 
+# bench-wire records batched wire-protocol throughput vs single-op HTTP-JSON
+# (wlmd + wlmload at GOMAXPROCS 1/2/4/8, batch 1/16/256) into BENCH_wire.json.
+# Fails if the codec or batch dispatch allocates, or if the binary path falls
+# under 5x the HTTP-JSON decisions/sec at batch 256.
+bench-wire:
+	./scripts/bench_wire.sh
+
 # fuzz-short smoke-fuzzes the SQL pipeline (lexer/parser/planner/fingerprint)
-# for 10 seconds — enough to shake out panics without stalling CI.
+# and the wire-frame decoder — enough to shake out panics without stalling CI.
 fuzz-short:
 	$(GO) test -fuzz FuzzParse -fuzztime 10s -run '^$$' ./internal/sqlmini/
+	$(GO) test -fuzz FuzzDecode -fuzztime 10s -run '^$$' ./internal/wire/

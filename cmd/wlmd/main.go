@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"sync"
@@ -27,6 +28,7 @@ import (
 	"dbwlm/internal/rthttp"
 	"dbwlm/internal/sim"
 	"dbwlm/internal/sqlmini"
+	"dbwlm/internal/wire"
 )
 
 // defaultClasses is the built-in three-tier service-class table: interactive
@@ -44,6 +46,7 @@ func defaultClasses() []rt.ClassSpec {
 func main() {
 	var (
 		addr       = flag.String("addr", ":8628", "HTTP listen address")
+		wireAddr   = flag.String("wire-addr", "", "binary wire-protocol TCP listen address (empty = off)")
 		policyPath = flag.String("policy", "", "JSON runtime policy applied at startup")
 		globalMPL  = flag.Int("global-mpl", 48, "global concurrent-admission cap (0 = unlimited)")
 		selftest   = flag.Bool("selftest", false, "run the closed-loop load generator and exit (non-zero on zero admits)")
@@ -101,6 +104,7 @@ func main() {
 	}
 
 	srv := rthttp.NewServer(r)
+	var gate *rt.PredictGate
 	if *predict {
 		bucket, ok := admission.BucketFromName(*maxBucket)
 		if !ok {
@@ -113,7 +117,8 @@ func main() {
 			Background:  true, // retrain off the admit path; models swap in atomically
 			Indexed:     true,
 		}
-		srv.EnablePredict(rt.NewPredictGate(r, cache, knn, bucket))
+		gate = rt.NewPredictGate(r, cache, knn, bucket)
+		srv.EnablePredict(gate)
 		log.Printf("wlmd: prediction gate on (max bucket %s, plan cache %d)", bucket, *planCache)
 	}
 	if *pprofOn {
@@ -123,6 +128,23 @@ func main() {
 
 	r.Start()
 	defer r.Stop()
+	if *wireAddr != "" {
+		// The batched binary wire protocol: persistent TCP connections of
+		// length-prefixed frames, sharing the HTTP server's runtime (and
+		// prediction gate), so both fronts hand out interchangeable grants.
+		l, err := net.Listen("tcp", *wireAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ws := wire.NewServer(&wire.Dispatcher{RT: r, Predict: gate})
+		defer ws.Close()
+		go func() {
+			if err := ws.Serve(l); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		log.Printf("wlmd: wire protocol listening on %s", l.Addr())
+	}
 	// The live autonomic manager: monitor load, diagnose congestion, work the
 	// low-priority gate. Every iteration lands in the flight recorder when
 	// one is attached.

@@ -1,0 +1,555 @@
+// Command wlmload drives a wlmd daemon at saturation and reports admission
+// throughput and latency. It speaks all three fronts the daemon serves —
+//
+//	wlmload -mode wire -addr 127.0.0.1:9628        # binary TCP, pipelined
+//	wlmload -mode http-batch -url http://127.0.0.1:8628
+//	wlmload -mode http -url http://127.0.0.1:8628  # single-op form POSTs
+//
+// — with the same op stream: each connection alternates admit and done ops so
+// the in-engine population stays bounded while every decision exercises the
+// full gate/counter/recorder path. scripts/bench_wire.sh runs it across batch
+// sizes and GOMAXPROCS settings to produce BENCH_wire.json.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dbwlm/internal/wire"
+)
+
+// classMix is one service class's share of generated admits. ID is the class's
+// index in the server's class table; the -mix flag lists entries in table
+// order (wlmd's default table: interactive, reporting, batch).
+type classMix struct {
+	Name   string
+	ID     uint16
+	Weight float64
+}
+
+// grantRec is one outstanding admission a later done op releases.
+type grantRec struct {
+	class, shard, gshard uint16
+	start, qid           int64
+	fpHi, fpLo           uint64
+}
+
+// config is the parsed command line.
+type config struct {
+	mode    string
+	addr    string
+	baseURL string
+	conns   int
+	depth   int
+	batch   int
+	ops     int64
+	cost    float64
+	sqlFrac float64
+	block   bool
+	mix     []classMix
+	seed    uint64
+	jsonOut bool
+}
+
+// counters aggregates op outcomes across all connections.
+type counters struct {
+	admitted atomic.Int64
+	rejected atomic.Int64
+	released atomic.Int64
+	errored  atomic.Int64
+}
+
+// corpus is the built-in SQL shapes for -sql-frac traffic, written against
+// sqlmini's default star-schema catalog.
+var corpus = []string{
+	"SELECT id, name FROM customers WHERE id = 42",
+	"SELECT * FROM orders WHERE total > 100",
+	"SELECT COUNT(*) FROM orders WHERE region = 'west'",
+	"SELECT d.year, SUM(f.amount) FROM sales_fact f JOIN date_dim d ON f.date_id = d.id GROUP BY d.year",
+	"SELECT DISTINCT region FROM store_dim ORDER BY region LIMIT 5",
+	"SELECT c.name, o.total FROM customers c JOIN orders o ON o.customer_id = c.id WHERE o.total > 500",
+}
+
+func main() {
+	cfg, err := parseFlags()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlmload:", err)
+		os.Exit(2)
+	}
+	var (
+		cnt  counters
+		mu   sync.Mutex
+		lats []float64 // seconds, one per round trip
+	)
+	issued := &atomic.Int64{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var (
+				local []float64
+				err   error
+			)
+			switch cfg.mode {
+			case "wire":
+				local, err = runWireConn(cfg, c, issued, &cnt)
+			case "http-batch":
+				local, err = runHTTPBatchConn(cfg, c, issued, &cnt)
+			case "http":
+				local, err = runHTTPConn(cfg, c, issued, &cnt)
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wlmload: conn %d: %v\n", c, err)
+				cnt.errored.Add(1)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	report(cfg, elapsed, lats, &cnt)
+	if cnt.errored.Load() > 0 {
+		os.Exit(1)
+	}
+}
+
+func parseFlags() (config, error) {
+	var cfg config
+	var mix string
+	flag.StringVar(&cfg.mode, "mode", "wire", "transport: wire | http-batch | http")
+	flag.StringVar(&cfg.addr, "addr", "127.0.0.1:9628", "wire mode: wlmd -wire-addr TCP address")
+	flag.StringVar(&cfg.baseURL, "url", "http://127.0.0.1:8628", "http modes: wlmd base URL")
+	flag.IntVar(&cfg.conns, "conns", 4, "parallel connections")
+	flag.IntVar(&cfg.depth, "depth", 4, "wire mode: pipelined frames in flight per connection")
+	flag.IntVar(&cfg.batch, "batch", 16, "ops per frame (wire, http-batch)")
+	flag.Int64Var(&cfg.ops, "ops", 100000, "total ops to issue across all connections")
+	flag.Float64Var(&cfg.cost, "cost", 100, "estimated cost (timerons) on plain admit ops")
+	flag.Float64Var(&cfg.sqlFrac, "sql-frac", 0, "fraction of admits sent as raw SQL (needs wlmd -predict)")
+	flag.BoolVar(&cfg.block, "block", false, "admits block while queued instead of reporting rejected-timeout")
+	flag.StringVar(&mix, "mix", "interactive=1", "class mix as name=weight pairs, in server class-table order")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "RNG seed")
+	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON")
+	flag.Parse()
+	switch cfg.mode {
+	case "wire", "http-batch", "http":
+	default:
+		return cfg, fmt.Errorf("unknown -mode %q", cfg.mode)
+	}
+	if cfg.conns < 1 || cfg.depth < 1 || cfg.batch < 1 || cfg.ops < 1 {
+		return cfg, fmt.Errorf("-conns, -depth, -batch, -ops must be positive")
+	}
+	if cfg.batch > wire.MaxOps {
+		return cfg, fmt.Errorf("-batch %d exceeds wire.MaxOps %d", cfg.batch, wire.MaxOps)
+	}
+	for i, part := range strings.Split(mix, ",") {
+		name, w, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return cfg, fmt.Errorf("bad -mix entry %q (want name=weight)", part)
+		}
+		weight, err := strconv.ParseFloat(w, 64)
+		if err != nil || weight < 0 {
+			return cfg, fmt.Errorf("bad -mix weight %q", w)
+		}
+		cfg.mix = append(cfg.mix, classMix{Name: name, ID: uint16(i), Weight: weight})
+	}
+	return cfg, nil
+}
+
+// pickClass draws a class from the mix.
+func pickClass(rng *rand.Rand, mix []classMix) classMix {
+	total := 0.0
+	for _, m := range mix {
+		total += m.Weight
+	}
+	x := rng.Float64() * total
+	for _, m := range mix {
+		if x -= m.Weight; x < 0 {
+			return m
+		}
+	}
+	return mix[len(mix)-1]
+}
+
+// buildFrame composes one request batch: done ops for up to half the slots
+// (draining the grant pool) and admit ops for the rest. Returns the ops and
+// how many were taken from the issue budget.
+func buildFrame(cfg config, rng *rand.Rand, ops []wire.Op, grants *[]grantRec, budget int64) []wire.Op {
+	n := int64(cfg.batch)
+	if n > budget {
+		n = budget
+	}
+	ops = ops[:0]
+	deadline := int64(1) // try-don't-wait
+	if cfg.block {
+		deadline = 0
+	}
+	for i := int64(0); i < n; i++ {
+		if i%2 == 1 && len(*grants) > 0 {
+			g := (*grants)[len(*grants)-1]
+			*grants = (*grants)[:len(*grants)-1]
+			ops = append(ops, wire.Op{Code: wire.OpDone, Class: g.class, Shard: g.shard,
+				GShard: g.gshard, Start: g.start, QID: g.qid, FPHi: g.fpHi, FPLo: g.fpLo})
+			continue
+		}
+		m := pickClass(rng, cfg.mix)
+		if cfg.sqlFrac > 0 && rng.Float64() < cfg.sqlFrac {
+			sql := corpus[rng.IntN(len(corpus))]
+			ops = append(ops, wire.Op{Code: wire.OpAdmitSQL, Class: m.ID,
+				DeadlineNS: deadline, SQL: []byte(sql)})
+			continue
+		}
+		ops = append(ops, wire.Op{Code: wire.OpAdmit, Class: m.ID,
+			DeadlineNS: deadline, Cost: cfg.cost})
+	}
+	return ops
+}
+
+// harvest records one decoded response batch into the counters and collects
+// fresh grants for later done ops.
+func harvest(results []wire.Result, grants *[]grantRec, cnt *counters) {
+	for i := range results {
+		r := &results[i]
+		switch {
+		case r.Status == wire.StatusAdmitted:
+			cnt.admitted.Add(1)
+			*grants = append(*grants, grantRec{class: r.Class, shard: r.Shard,
+				gshard: r.GShard, start: r.Start, qid: r.QID, fpHi: r.FPHi, fpLo: r.FPLo})
+		case r.Status == wire.StatusReleased:
+			cnt.released.Add(1)
+		case r.Status.Rejected():
+			cnt.rejected.Add(1)
+		default:
+			cnt.errored.Add(1)
+		}
+	}
+}
+
+// runWireConn drives one pipelined wire connection: a writer goroutine keeps
+// up to depth frames in flight while this goroutine reads, decodes, and times
+// responses. Returns per-frame round-trip seconds.
+func runWireConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]float64, error) {
+	conn, err := net.Dial("tcp", cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	var (
+		rng    = rand.New(rand.NewPCG(cfg.seed, uint64(id)))
+		fc     = wire.NewFrameConn(conn)
+		grants []grantRec
+		sendTs = make(chan time.Time, cfg.depth)
+		werr   = make(chan error, 1)
+		mu     sync.Mutex // guards grants between writer (build) and reader (harvest)
+		lats   []float64
+	)
+	go func() {
+		defer close(sendTs)
+		wfc := wire.NewFrameConn(conn)
+		var ops []wire.Op
+		var buf []byte
+		for {
+			take := int64(cfg.batch)
+			if got := issued.Add(take); got > cfg.ops {
+				take -= got - cfg.ops
+				if take <= 0 {
+					werr <- nil
+					return
+				}
+			}
+			mu.Lock()
+			ops = buildFrame(cfg, rng, ops, &grants, take)
+			mu.Unlock()
+			payload, err := wire.EncodeRequest(buf, ops)
+			if err != nil {
+				werr <- err
+				return
+			}
+			buf = payload
+			sendTs <- time.Now() // blocks at depth frames in flight
+			if err := wfc.WriteFrame(payload); err != nil {
+				werr <- err
+				return
+			}
+		}
+	}()
+	var res wire.BatchRes
+	for ts := range sendTs {
+		payload, err := fc.ReadFrame()
+		if err != nil {
+			return lats, err
+		}
+		if err := wire.DecodeResponse(payload, &res); err != nil {
+			return lats, err
+		}
+		lats = append(lats, time.Since(ts).Seconds())
+		mu.Lock()
+		harvest(res.Results, &grants, cnt)
+		mu.Unlock()
+	}
+	if err := <-werr; err != nil {
+		return lats, err
+	}
+	// Release whatever is still admitted so the daemon ends balanced; these
+	// frames are cleanup, not measured throughput.
+	for len(grants) > 0 {
+		n := len(grants)
+		if n > cfg.batch {
+			n = cfg.batch
+		}
+		ops := make([]wire.Op, 0, n)
+		for _, g := range grants[len(grants)-n:] {
+			ops = append(ops, wire.Op{Code: wire.OpDone, Class: g.class, Shard: g.shard,
+				GShard: g.gshard, Start: g.start, QID: g.qid})
+		}
+		grants = grants[:len(grants)-n]
+		payload, err := wire.EncodeRequest(nil, ops)
+		if err != nil {
+			return lats, err
+		}
+		if err := fc.WriteFrame(payload); err != nil {
+			return lats, err
+		}
+		if _, err := fc.ReadFrame(); err != nil {
+			return lats, err
+		}
+	}
+	return lats, nil
+}
+
+// runHTTPBatchConn drives POST /batch: the same binary frames, one in flight
+// per connection, HTTP supplying the framing.
+func runHTTPBatchConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]float64, error) {
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+	defer client.CloseIdleConnections()
+	var (
+		rng    = rand.New(rand.NewPCG(cfg.seed, uint64(id)))
+		grants []grantRec
+		ops    []wire.Op
+		buf    []byte
+		res    wire.BatchRes
+		lats   []float64
+	)
+	for {
+		take := int64(cfg.batch)
+		if got := issued.Add(take); got > cfg.ops {
+			take -= got - cfg.ops
+			if take <= 0 {
+				return lats, drainHTTPBatch(client, cfg.baseURL, grants, cfg.batch)
+			}
+		}
+		ops = buildFrame(cfg, rng, ops, &grants, take)
+		payload, err := wire.EncodeRequest(buf, ops)
+		if err != nil {
+			return lats, err
+		}
+		buf = payload
+		start := time.Now()
+		body, err := postBatch(client, cfg.baseURL, payload)
+		if err != nil {
+			return lats, err
+		}
+		lats = append(lats, time.Since(start).Seconds())
+		if err := wire.DecodeResponse(body, &res); err != nil {
+			return lats, err
+		}
+		harvest(res.Results, &grants, cnt)
+	}
+}
+
+// drainHTTPBatch releases outstanding grants over /batch, unmeasured.
+func drainHTTPBatch(client *http.Client, baseURL string, grants []grantRec, batch int) error {
+	for len(grants) > 0 {
+		n := len(grants)
+		if n > batch {
+			n = batch
+		}
+		ops := make([]wire.Op, 0, n)
+		for _, g := range grants[len(grants)-n:] {
+			ops = append(ops, wire.Op{Code: wire.OpDone, Class: g.class, Shard: g.shard,
+				GShard: g.gshard, Start: g.start, QID: g.qid})
+		}
+		grants = grants[:len(grants)-n]
+		payload, err := wire.EncodeRequest(nil, ops)
+		if err != nil {
+			return err
+		}
+		if _, err := postBatch(client, baseURL, payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func postBatch(client *http.Client, baseURL string, payload []byte) ([]byte, error) {
+	resp, err := client.Post(baseURL+"/batch", "application/octet-stream",
+		strings.NewReader(string(payload)))
+	if err != nil {
+		return nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/batch: %s: %s", resp.Status, body)
+	}
+	return body, nil
+}
+
+// httpGrant is one /admit token awaiting its /done.
+type httpGrant struct {
+	token string
+	sql   string
+}
+
+// runHTTPConn drives the single-op form-encoded path: alternating POST /admit
+// and POST /done, one op per request — the baseline the wire protocol is
+// measured against.
+func runHTTPConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]float64, error) {
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+	defer client.CloseIdleConnections()
+	rng := rand.New(rand.NewPCG(cfg.seed, uint64(id)))
+	var (
+		grants []httpGrant
+		lats   []float64
+		next   int64
+	)
+	for {
+		if next = issued.Add(1); next > cfg.ops {
+			break
+		}
+		start := time.Now()
+		if len(grants) > 0 && next%2 == 1 {
+			g := grants[len(grants)-1]
+			grants = grants[:len(grants)-1]
+			form := url.Values{"token": {g.token}}
+			if g.sql != "" {
+				form.Set("sql", g.sql)
+			}
+			code, _, err := postForm(client, cfg.baseURL+"/done", form)
+			if err != nil {
+				return lats, err
+			}
+			if code == http.StatusOK {
+				cnt.released.Add(1)
+			} else {
+				cnt.errored.Add(1)
+			}
+		} else {
+			m := pickClass(rng, cfg.mix)
+			form := url.Values{"class": {m.Name}}
+			sql := ""
+			if cfg.sqlFrac > 0 && rng.Float64() < cfg.sqlFrac {
+				sql = corpus[rng.IntN(len(corpus))]
+				form.Set("sql", sql)
+			} else {
+				form.Set("cost", strconv.FormatFloat(cfg.cost, 'f', -1, 64))
+			}
+			code, body, err := postForm(client, cfg.baseURL+"/admit", form)
+			if err != nil {
+				return lats, err
+			}
+			var ar struct {
+				Verdict string `json:"verdict"`
+				Token   string `json:"token"`
+			}
+			if err := json.Unmarshal(body, &ar); err != nil {
+				return lats, fmt.Errorf("/admit: %s: %s", http.StatusText(code), body)
+			}
+			if ar.Verdict == "admitted" {
+				cnt.admitted.Add(1)
+				grants = append(grants, httpGrant{token: ar.Token, sql: sql})
+			} else {
+				cnt.rejected.Add(1)
+			}
+		}
+		lats = append(lats, time.Since(start).Seconds())
+	}
+	// Cleanup: release outstanding tokens, unmeasured.
+	for _, g := range grants {
+		postForm(client, cfg.baseURL+"/done", url.Values{"token": {g.token}})
+	}
+	return lats, nil
+}
+
+func postForm(client *http.Client, u string, form url.Values) (int, []byte, error) {
+	resp, err := client.Post(u, "application/x-www-form-urlencoded",
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		return 0, nil, err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, body, err
+}
+
+// reportJSON is the machine-readable run summary (the bench harness consumes
+// it). NumCPU and GOMAXPROCS stamp the hardware the numbers came from.
+type reportJSON struct {
+	Mode            string  `json:"mode"`
+	Conns           int     `json:"conns"`
+	Depth           int     `json:"depth"`
+	Batch           int     `json:"batch"`
+	Ops             int64   `json:"ops"`
+	ElapsedSeconds  float64 `json:"elapsed_seconds"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
+	Admitted        int64   `json:"admitted"`
+	Rejected        int64   `json:"rejected"`
+	Released        int64   `json:"released"`
+	Errors          int64   `json:"errors"`
+	P50Ms           float64 `json:"rtt_p50_ms"`
+	P95Ms           float64 `json:"rtt_p95_ms"`
+	P99Ms           float64 `json:"rtt_p99_ms"`
+	NumCPU          int     `json:"num_cpu"`
+	GOMAXPROCS      int     `json:"gomaxprocs"`
+}
+
+func report(cfg config, elapsed float64, lats []float64, cnt *counters) {
+	sort.Float64s(lats)
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i] * 1000
+	}
+	decisions := cnt.admitted.Load() + cnt.rejected.Load() + cnt.released.Load()
+	r := reportJSON{
+		Mode: cfg.mode, Conns: cfg.conns, Depth: cfg.depth, Batch: cfg.batch,
+		Ops: decisions, ElapsedSeconds: elapsed,
+		DecisionsPerSec: float64(decisions) / elapsed,
+		Admitted:        cnt.admitted.Load(), Rejected: cnt.rejected.Load(),
+		Released: cnt.released.Load(), Errors: cnt.errored.Load(),
+		P50Ms: pct(0.50), P95Ms: pct(0.95), P99Ms: pct(0.99),
+		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	if cfg.jsonOut {
+		json.NewEncoder(os.Stdout).Encode(r)
+		return
+	}
+	fmt.Printf("%s: %d decisions in %.2fs = %.0f decisions/sec (conns=%d depth=%d batch=%d)\n",
+		r.Mode, r.Ops, r.ElapsedSeconds, r.DecisionsPerSec, r.Conns, r.Depth, r.Batch)
+	fmt.Printf("  admitted %d, rejected %d, released %d, errors %d\n",
+		r.Admitted, r.Rejected, r.Released, r.Errors)
+	fmt.Printf("  rtt ms: p50 %.3f  p95 %.3f  p99 %.3f  (num_cpu=%d gomaxprocs=%d)\n",
+		r.P50Ms, r.P95Ms, r.P99Ms, r.NumCPU, r.GOMAXPROCS)
+}

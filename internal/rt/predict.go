@@ -18,6 +18,10 @@ type Prediction struct {
 	// Timerons is the optimizer cost estimate derived from the (possibly
 	// cached) plan.
 	Timerons float64
+	// FP is the statement fingerprint, the stable identity the batched wire
+	// protocol hands back so clients can train (OpDone) or re-admit
+	// (OpAdmitFP) without resending the SQL text.
+	FP sqlmini.Fingerprint
 	// Seconds is the k-NN predicted service time; meaningful only when
 	// Modeled is true.
 	Seconds float64
@@ -88,8 +92,48 @@ func (g *PredictGate) AdmitSQL(class ClassID, sql string) (Grant, Prediction, er
 	if err != nil {
 		return Grant{}, Prediction{}, err
 	}
+	return g.admitPlanned(class, e, hit, true)
+}
+
+// AdmitSQLBytes is AdmitSQL for SQL text held in a transient byte buffer —
+// the batched wire transport's decode scratch. The bytes are only read while
+// the call runs (PlanCache.PlanInfoBytes copies to a stable string before
+// caching anything), so the caller may reuse its buffer immediately. wait as
+// in Admit vs AdmitNoWait.
+//
+//dbwlm:hotpath
+func (g *PredictGate) AdmitSQLBytes(class ClassID, sql []byte, wait bool) (Grant, Prediction, error) {
+	e, hit, err := g.cache.PlanInfoBytes(sql)
+	if err != nil {
+		return Grant{}, Prediction{}, err
+	}
+	return g.admitPlanned(class, e, hit, wait)
+}
+
+// AdmitFP runs prediction-based admission on a statement fingerprint alone —
+// the wire protocol's repeat-traffic path, which skips even the fingerprint
+// hash. cached is false when the shape is not interned (nothing is admitted;
+// the client falls back to sending the SQL text).
+//
+//dbwlm:hotpath
+func (g *PredictGate) AdmitFP(class ClassID, fp sqlmini.Fingerprint, wait bool) (grant Grant, pred Prediction, cached bool) {
+	e := g.cache.Lookup(fp)
+	if e == nil {
+		return Grant{}, Prediction{}, false
+	}
+	grant, pred, _ = g.admitPlanned(class, e, true, wait)
+	return grant, pred, true
+}
+
+// admitPlanned is the shared back half of every predict-admit path: feature
+// extraction from the (cached) plan, k-NN runtime prediction, the bucket
+// gate, then the runtime's cost/MPL admission.
+//
+//dbwlm:hotpath
+func (g *PredictGate) admitPlanned(class ClassID, e *sqlmini.CachedPlan, hit, wait bool) (Grant, Prediction, error) {
 	pred := Prediction{
 		Timerons: workload.TimeronsOf(e.Cost.CPUSeconds, e.Cost.IOMB),
+		FP:       e.FP,
 		CacheHit: hit,
 	}
 	var f admission.FeatureVec
@@ -105,7 +149,7 @@ func (g *PredictGate) AdmitSQL(class ClassID, sql string) (Grant, Prediction, er
 			g.rt.classes[class].rejected.Inc()
 			var qid int64
 			if rec := g.rt.rec; rec != nil {
-				qid = g.rt.qids.Add(1)
+				qid = g.rt.qids.next()
 				rec.Record(obsv.Event{At: g.rt.now(), QID: qid, FP: e.FP.Lo,
 					Kind: obsv.KindAdmit, Reason: obsv.ReasonPredictedBucket,
 					Verdict: uint8(RejectedPredicted), Class: int32(class),
@@ -117,7 +161,7 @@ func (g *PredictGate) AdmitSQL(class ClassID, sql string) (Grant, Prediction, er
 	} else {
 		g.unmodeled.Inc()
 	}
-	return g.rt.admitWith(class, pred.Timerons, e.FP.Lo, pred.Seconds), pred, nil
+	return g.rt.admitWith(class, pred.Timerons, e.FP.Lo, pred.Seconds, wait), pred, nil
 }
 
 // ObserveDone releases an admitted grant and feeds the observed service time
@@ -138,6 +182,26 @@ func (g *PredictGate) Observe(sql string, seconds float64) {
 	if err != nil {
 		return
 	}
+	g.observeEntry(e, seconds)
+}
+
+// ObserveFP trains the predictor on a completed observation identified by
+// statement fingerprint — the wire /done path, where the client carries the
+// 16-byte fingerprint from its admit result instead of the SQL text. Reports
+// whether the shape was still interned (a miss drops the observation; the
+// model only ever trains on features it can recompute).
+func (g *PredictGate) ObserveFP(fp sqlmini.Fingerprint, seconds float64) bool {
+	e := g.cache.Lookup(fp)
+	if e == nil {
+		return false
+	}
+	g.observeEntry(e, seconds)
+	return true
+}
+
+// observeEntry is the shared training tail: features from the cached plan,
+// one k-NN observation.
+func (g *PredictGate) observeEntry(e *sqlmini.CachedPlan, seconds float64) {
 	var f admission.FeatureVec
 	admission.FeaturesFrom(workload.TimeronsOf(e.Cost.CPUSeconds, e.Cost.IOMB),
 		e.Cost.Rows, e.Cost.MemMB, e.Cost.IOMB, e.Cost.Type == sqlmini.StmtRead, &f)

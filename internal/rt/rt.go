@@ -5,7 +5,6 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
-	"sync/atomic"
 	"time"
 
 	"dbwlm/internal/admission"
@@ -113,15 +112,23 @@ type Grant struct {
 
 // ID reports the admission ID correlating this request's flight-recorder
 // events (0 when the recorder is off).
+//
+//dbwlm:hotpath
 func (g Grant) ID() int64 { return g.id }
 
 // Admitted reports whether the request holds a slot.
+//
+//dbwlm:hotpath
 func (g Grant) Admitted() bool { return g.verdict == Admitted }
 
 // Verdict reports the admission outcome.
+//
+//dbwlm:hotpath
 func (g Grant) Verdict() Verdict { return g.verdict }
 
 // Class reports the class the request was admitted (or rejected) under.
+//
+//dbwlm:hotpath
 func (g Grant) Class() ClassID { return g.class }
 
 // classState is one service class: its gate, FIFO queue, and striped stats.
@@ -161,9 +168,11 @@ type Runtime struct {
 
 	// rec is the flight recorder; nil (the default) disables it, and every
 	// hook below is a single nil-check branch in that state. qids hands out
-	// the admission IDs that correlate one request's lifecycle events.
+	// the admission IDs that correlate one request's lifecycle events —
+	// striped, so enabling the recorder adds no shared-line write to the
+	// admit path (qid.go).
 	rec  *obsv.Recorder
-	qids atomic.Int64
+	qids qidAlloc
 
 	stop chan struct{}
 }
@@ -242,6 +251,7 @@ func New(specs []ClassSpec, opts Options) (*Runtime, error) {
 		r.classes = append(r.classes, cs)
 	}
 	r.global = newGate(shards, gateLimits{maxMPL: int64(opts.GlobalMaxMPL)})
+	r.qids.init(shards)
 	return r, nil
 }
 
@@ -264,6 +274,8 @@ func (r *Runtime) Class(name string) (ClassID, bool) {
 func (r *Runtime) ClassName(id ClassID) string { return r.classes[id].spec.Name }
 
 // NumClasses reports the class-table size.
+//
+//dbwlm:hotpath
 func (r *Runtime) NumClasses() int { return len(r.classes) }
 
 // NowNanos reads the runtime's monotonic clock.
@@ -287,20 +299,34 @@ func (r *Runtime) ElapsedSeconds(g Grant) float64 {
 //
 //dbwlm:hotpath
 func (r *Runtime) Admit(class ClassID, costTimerons float64) Grant {
-	return r.admitWith(class, costTimerons, 0, 0)
+	return r.admitWith(class, costTimerons, 0, 0, true)
 }
 
-// admitWith is Admit plus the prediction pipeline's trace context: the
-// statement fingerprint and predicted service seconds travel into the
-// flight-recorder events (both zero on the plain Admit path).
+// AdmitNoWait is Admit without the parked wait: a request the gate cannot
+// seat immediately — MPL exhausted or the congestion gate closed on its
+// priority — is rejected with RejectedTimeout (a queue timeout at zero wait)
+// instead of queueing. This is the batched wire transport's deadline
+// semantics: a batch dispatcher cannot park one op without stalling every op
+// behind it in the frame, so ops carrying a wait budget fail fast and the
+// client retries on a later frame if it still wants the slot.
 //
 //dbwlm:hotpath
-func (r *Runtime) admitWith(class ClassID, costTimerons float64, fp uint64, predicted float64) Grant {
+func (r *Runtime) AdmitNoWait(class ClassID, costTimerons float64) Grant {
+	return r.admitWith(class, costTimerons, 0, 0, false)
+}
+
+// admitWith is Admit plus the prediction pipeline's trace context — the
+// statement fingerprint and predicted service seconds travel into the
+// flight-recorder events (both zero on the plain Admit path) — and the wait
+// flag separating blocking admits from the wire transport's fail-fast ones.
+//
+//dbwlm:hotpath
+func (r *Runtime) admitWith(class ClassID, costTimerons float64, fp uint64, predicted float64, wait bool) Grant {
 	cs := r.classes[class]
 	lim := cs.gate.limits.Load()
 	var qid int64
 	if r.rec != nil {
-		qid = r.qids.Add(1)
+		qid = r.qids.next()
 	}
 	if lim.maxCost > 0 && costTimerons > lim.maxCost {
 		cs.rejected.Inc()
@@ -330,6 +356,16 @@ func (r *Runtime) admitWith(class ClassID, costTimerons float64, fp uint64, pred
 			}
 			r.global.leave(gs)
 		}
+	}
+	if !wait {
+		cs.timeouts.Inc()
+		if r.rec != nil {
+			r.rec.Record(obsv.Event{At: r.now(), QID: qid, FP: fp,
+				Kind: obsv.KindAdmit, Reason: obsv.ReasonQueueTimeout,
+				Verdict: uint8(RejectedTimeout), Class: int32(class),
+				Value: costTimerons, Aux: 0})
+		}
+		return Grant{verdict: RejectedTimeout, class: class, id: qid}
 	}
 	//dbwlm:nolint hotpath -- the queued slow path: once a request must park, the channel wait dwarfs the waiter-pool setup
 	return r.await(cs, class, costTimerons, qid, fp, predicted, gated)
@@ -676,6 +712,33 @@ func (g Grant) Token() string {
 		return fmt.Sprintf("%d:%d:%d:%d:%d", g.class, g.shard, g.gshard, g.start, g.id)
 	}
 	return fmt.Sprintf("%d:%d:%d:%d", g.class, g.shard, g.gshard, g.start)
+}
+
+// Parts explodes a Grant into its transportable fields — the binary wire
+// protocol's analogue of Token, with no formatting and no allocation. An
+// admitted grant round-trips through GrantFromParts on the wire /done path.
+//
+//dbwlm:hotpath
+func (g Grant) Parts() (class ClassID, shard, gshard int32, startNanos, id int64, admitted bool) {
+	return g.class, g.shard, g.gshard, g.start, g.id, g.verdict == Admitted
+}
+
+// GrantFromParts reconstructs an admitted Grant from the fields Parts
+// produced, with ParseToken's range validation; ok is false when the fields
+// do not name a valid slot. Allocation-free — the wire transport's /done
+// path.
+//
+//dbwlm:hotpath
+func (r *Runtime) GrantFromParts(class ClassID, shard, gshard int32, startNanos, id int64) (g Grant, ok bool) {
+	if class < 0 || int(class) >= len(r.classes) {
+		return Grant{}, false
+	}
+	if shard < 0 || int(shard) >= len(r.classes[class].gate.shards) ||
+		gshard < 0 || int(gshard) >= len(r.global.shards) {
+		return Grant{}, false
+	}
+	return Grant{verdict: Admitted, class: class, shard: shard, gshard: gshard,
+		start: startNanos, id: id}, true
 }
 
 // ParseToken reconstructs an admitted Grant from its token (with or without

@@ -1,0 +1,393 @@
+package rthttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dbwlm/internal/admission"
+	"dbwlm/internal/obsv"
+	"dbwlm/internal/rt"
+	"dbwlm/internal/sqlmini"
+	"dbwlm/internal/wire"
+)
+
+// tickingClock is a fake monotonic clock advancing 1ms per read: every
+// recorder event gets a unique, deterministic timestamp, and elapsed times
+// depend only on how many clock reads a code path performs. That makes two
+// runtimes driven through different transports directly comparable — if the
+// paths do the same work, their clocks stay in lockstep.
+func tickingClock() func() int64 {
+	var t atomic.Int64
+	return func() int64 { return t.Add(1e6) }
+}
+
+// predictStack is one fully independent server stack: runtime, recorder,
+// prediction gate, HTTP front end — all over a deterministic clock.
+type predictStack struct {
+	rt   *rt.Runtime
+	gate *rt.PredictGate
+	srv  *httptest.Server
+}
+
+func newPredictStack(t *testing.T) predictStack {
+	t.Helper()
+	r, err := rt.New(testSpecs(), rt.Options{GlobalMaxMPL: 64, Now: tickingClock()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetRecorder(obsv.NewRecorder(1 << 12))
+	cache := sqlmini.NewPlanCache(sqlmini.NewCostModel(sqlmini.DefaultCatalog()), 256, 0)
+	// MinTraining beyond the script length keeps the model out of the gate:
+	// the equivalence property is about transports, not predictions.
+	knn := &admission.KNNPredictor{MaxSeconds: 60, MinTraining: 1000}
+	gate := rt.NewPredictGate(r, cache, knn, admission.BucketMonster)
+	s := NewServer(r)
+	s.EnablePredict(gate)
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	return predictStack{rt: r, gate: gate, srv: srv}
+}
+
+func postForm(t *testing.T, srv *httptest.Server, path string, form url.Values) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+path, "application/x-www-form-urlencoded",
+		strings.NewReader(form.Encode()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+// postBatch sends one binary frame to /batch and decodes the reply.
+func postBatch(t *testing.T, srv *httptest.Server, ops []wire.Op) []wire.Result {
+	t.Helper()
+	payload, err := wire.EncodeRequest(nil, ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/batch", "application/octet-stream",
+		bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/batch: %s: %s", resp.Status, body)
+	}
+	var res wire.BatchRes
+	if err := wire.DecodeResponse(body, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != len(ops) {
+		t.Fatalf("%d results for %d ops", len(res.Results), len(ops))
+	}
+	return res.Results
+}
+
+// TestBatchEndpoint: POST /batch speaks the binary frame format over HTTP and
+// lands in the same dispatcher as the TCP wire path; malformed bodies are 400s.
+func TestBatchEndpoint(t *testing.T) {
+	st := newPredictStack(t)
+	res := postBatch(t, st.srv, []wire.Op{
+		{Code: wire.OpAdmit, Class: 0, Cost: 10},
+		{Code: wire.OpAdmitSQL, Class: 0, SQL: []byte("SELECT id, name FROM customers WHERE id = 7")},
+		{Code: wire.OpAdmit, Class: 99, Cost: 10},
+	})
+	if res[0].Status != wire.StatusAdmitted || res[1].Status != wire.StatusAdmitted {
+		t.Fatalf("admits: %v, %v", res[0].Status, res[1].Status)
+	}
+	if res[2].Status != wire.StatusBadClass {
+		t.Fatalf("bad class: %v, want %v", res[2].Status, wire.StatusBadClass)
+	}
+	rel := postBatch(t, st.srv, []wire.Op{
+		{Code: wire.OpDone, Class: res[0].Class, Shard: res[0].Shard,
+			GShard: res[0].GShard, Start: res[0].Start, QID: res[0].QID},
+		{Code: wire.OpDone, Class: res[1].Class, Shard: res[1].Shard,
+			GShard: res[1].GShard, Start: res[1].Start, QID: res[1].QID,
+			FPHi: res[1].FPHi, FPLo: res[1].FPLo},
+	})
+	for i := range rel {
+		if rel[i].Status != wire.StatusReleased {
+			t.Fatalf("done %d: %v, want released", i, rel[i].Status)
+		}
+	}
+	if got := st.rt.InEngine(); got != 0 {
+		t.Fatalf("in-engine %d after balanced batches, want 0", got)
+	}
+
+	resp, err := http.Post(st.srv.URL+"/batch", "application/octet-stream",
+		strings.NewReader("this is not a frame"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage body: %d, want 400", resp.StatusCode)
+	}
+}
+
+// replayStep is one logical client action the equivalence test issues over
+// both transports.
+type replayStep struct {
+	op    string // admit | admitsql | done | donesql
+	class string // admit ops; must exist in testSpecs
+	cost  float64
+	sql   string
+	ref   int // done ops: index of the step whose grant is released
+}
+
+// TestBatchReplayEquivalence pins the tentpole's core contract: a batch of N
+// ops produces exactly what the same N ops produce as sequential single-op
+// /admit and /done calls — identical verdict sequences, identical per-class
+// grant accounting, identical flight-recorder event streams, identical
+// plan-cache traffic. Two independent stacks with deterministic clocks run
+// the same script, one per transport; only QIDs (striped allocator values)
+// are allowed to differ.
+func TestBatchReplayEquivalence(t *testing.T) {
+	q0 := "SELECT id, name FROM customers WHERE id = 42"
+	q1 := "SELECT COUNT(*) FROM orders WHERE total > 100"
+	script := []replayStep{
+		{op: "admit", class: "interactive", cost: 100},
+		{op: "admit", class: "reporting", cost: 60000}, // over MaxCostTimerons
+		{op: "admitsql", class: "interactive", sql: q0},
+		{op: "admit", class: "reporting", cost: 100},
+		{op: "admitsql", class: "interactive", sql: q1},
+		{op: "admitsql", class: "interactive", sql: q0}, // plan-cache hit
+		{op: "done", ref: 0},
+		{op: "donesql", ref: 2},
+		{op: "admit", class: "interactive", cost: 50},
+		{op: "donesql", ref: 4},
+		{op: "done", ref: 3},
+		{op: "donesql", ref: 5},
+		{op: "done", ref: 8},
+	}
+
+	// Transport A: sequential single-op HTTP calls.
+	a := newPredictStack(t)
+	verdictsA := make([]string, len(script))
+	tokens := make([]string, len(script))
+	for i, step := range script {
+		switch step.op {
+		case "admit", "admitsql":
+			form := url.Values{"class": {step.class}}
+			if step.op == "admitsql" {
+				form.Set("sql", step.sql)
+			} else {
+				form.Set("cost", strconv.FormatFloat(step.cost, 'f', -1, 64))
+			}
+			code, body := postForm(t, a.srv, "/admit", form)
+			var ar AdmitResponse
+			if err := json.Unmarshal(body, &ar); err != nil {
+				t.Fatalf("step %d: %s (%d)", i, body, code)
+			}
+			verdictsA[i], tokens[i] = ar.Verdict, ar.Token
+		case "done", "donesql":
+			form := url.Values{"token": {tokens[step.ref]}}
+			if step.op == "donesql" {
+				form.Set("sql", script[step.ref].sql)
+			}
+			if code, body := postForm(t, a.srv, "/done", form); code != http.StatusOK {
+				t.Fatalf("step %d done: %s", i, body)
+			}
+			verdictsA[i] = "released"
+		}
+	}
+
+	// Transport B: the same script as binary batches through /batch. A done
+	// op needs the grant fields from its admit's result, so frame boundaries
+	// fall so that no done rides in the same frame as its admit — the op
+	// order across frames is still exactly the script.
+	b := newPredictStack(t)
+	verdictsB := make([]string, len(script))
+	results := make([]wire.Result, len(script))
+	runFrame := func(start, end int) {
+		ops := make([]wire.Op, 0, end-start)
+		for i := start; i < end; i++ {
+			step := script[i]
+			switch step.op {
+			case "admit", "admitsql":
+				class, ok := b.rt.Class(step.class)
+				if !ok {
+					t.Fatalf("step %d: no class %q", i, step.class)
+				}
+				op := wire.Op{Class: uint16(class)}
+				if step.op == "admitsql" {
+					op.Code, op.SQL = wire.OpAdmitSQL, []byte(step.sql)
+				} else {
+					op.Code, op.Cost = wire.OpAdmit, step.cost
+				}
+				ops = append(ops, op)
+			case "done", "donesql":
+				g := results[step.ref]
+				op := wire.Op{Code: wire.OpDone, Class: g.Class, Shard: g.Shard,
+					GShard: g.GShard, Start: g.Start, QID: g.QID}
+				if step.op == "donesql" {
+					op.FPHi, op.FPLo = g.FPHi, g.FPLo
+				}
+				ops = append(ops, op)
+			}
+		}
+		for i, res := range postBatch(t, b.srv, ops) {
+			results[start+i] = res
+			switch {
+			case res.Status == wire.StatusAdmitted:
+				verdictsB[start+i] = "admitted"
+			case res.Status == wire.StatusReleased:
+				verdictsB[start+i] = "released"
+			case res.Status.Rejected():
+				verdictsB[start+i] = rt.Verdict(res.Status).String()
+			default:
+				t.Fatalf("step %d: unexpected status %v", start+i, res.Status)
+			}
+		}
+	}
+	runFrame(0, 6)   // the opening admits
+	runFrame(6, 12)  // dones for frame 1 grants, plus the op-8 admit
+	runFrame(12, 13) // the done for the op-8 grant, which needs its result
+
+	if !reflect.DeepEqual(verdictsA, verdictsB) {
+		t.Fatalf("verdict sequences diverge:\n http: %v\n wire: %v", verdictsA, verdictsB)
+	}
+
+	// Grant accounting: per-class counters and the latency/wait histograms
+	// built from the deterministic clocks must match field for field.
+	snapA, snapB := a.rt.Snapshot(), b.rt.Snapshot()
+	if !reflect.DeepEqual(snapA, snapB) {
+		t.Fatalf("class stats diverge:\n http: %+v\n wire: %+v", snapA, snapB)
+	}
+
+	// Flight-recorder streams: same events, same reasons, same timestamps,
+	// same order. QIDs are striped-allocator values and legitimately differ.
+	evA := a.rt.Recorder().Tail(0, obsv.MatchAll)
+	evB := b.rt.Recorder().Tail(0, obsv.MatchAll)
+	if len(evA) != len(evB) {
+		t.Fatalf("recorder drained %d vs %d events", len(evA), len(evB))
+	}
+	for i := range evA {
+		x, y := evA[i], evB[i]
+		if x.At != y.At || x.Kind != y.Kind || x.Reason != y.Reason ||
+			x.Class != y.Class || x.Verdict != y.Verdict || x.FP != y.FP ||
+			x.Value != y.Value || x.Aux != y.Aux {
+			t.Fatalf("event %d diverges:\n http: %+v\n wire: %+v", i, x, y)
+		}
+	}
+
+	// Plan-cache traffic: same hits, same misses — the wire done-with-FP path
+	// (Lookup) and the HTTP done-with-sql path (PlanInfo) count alike.
+	if csA, csB := a.gate.Stats().Cache, b.gate.Stats().Cache; csA != csB {
+		t.Fatalf("cache stats diverge: http %+v, wire %+v", csA, csB)
+	}
+}
+
+// TestStatsReportsHardware: /stats self-describes the machine it measured on.
+func TestStatsReportsHardware(t *testing.T) {
+	_, srv := newTestServer(t, rt.Options{GlobalMaxMPL: 8})
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.NumCPU < 1 {
+		t.Fatalf("num_cpu %d, want >= 1", stats.NumCPU)
+	}
+	if stats.GOMAXPROCS < 1 {
+		t.Fatalf("gomaxprocs %d, want >= 1", stats.GOMAXPROCS)
+	}
+}
+
+// TestWriteAdmitMatchesJSON: the pooled hand-rolled /admit encoder is
+// byte-compatible with encoding/json for the values this server emits.
+func TestWriteAdmitMatchesJSON(t *testing.T) {
+	r, err := rt.New(testSpecs(), rt.Options{GlobalMaxMPL: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(r)
+	cases := []AdmitResponse{
+		{Verdict: "admitted", Token: "0.3.1.123456.789"},
+		{Verdict: "rejected-cost"},
+		{Verdict: "admitted", Token: "1.0.2.5.9", Cost: 1234.5,
+			PredictedSeconds: 0.0625, PredictedBucket: "short", Modeled: true, CacheHit: true},
+		{Verdict: "admitted", Token: "t", Cost: 3e21}, // exponent formatting
+		{Verdict: "admitted", Token: "t", Cost: 5e-7},
+	}
+	for _, tc := range cases {
+		rec := httptest.NewRecorder()
+		s.writeAdmit(rec, http.StatusOK, &tc)
+		want, err := json.Marshal(tc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := rec.Body.String(); got != string(want)+"\n" {
+			t.Errorf("writeAdmit mismatch:\n got:  %q\n want: %q", got, string(want)+"\n")
+		}
+	}
+}
+
+// TestSingleOpAllocs bounds allocations on the single-op HTTP fast path. The
+// pooled response buffers keep the handler's own contribution fixed; the
+// bound (with headroom for net/http request plumbing, which this test drives
+// through ServeHTTP directly) catches an accidental per-request encoder or
+// buffer creeping back in.
+func TestSingleOpAllocs(t *testing.T) {
+	r, err := rt.New(testSpecs(), rt.Options{GlobalMaxMPL: 1 << 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(r)
+	admitBody := "class=interactive&cost=10"
+	do := func(path, body string) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("%s: %d: %s", path, rec.Code, rec.Body.String())
+		}
+		return rec
+	}
+	roundtrip := func() {
+		rec := do("/admit", admitBody)
+		body := rec.Body.Bytes()
+		// Cheap token extraction: slice it out of {"verdict":"admitted",
+		// "token":"..."} without a JSON decode, so the measurement stays on
+		// the server, not the test harness.
+		i := bytes.Index(body, []byte(`"token":"`))
+		if i < 0 {
+			t.Fatalf("no token in admit response: %s", body)
+		}
+		rest := body[i+len(`"token":"`):]
+		j := bytes.IndexByte(rest, '"')
+		do("/done", "token="+string(rest[:j]))
+	}
+	roundtrip() // warm the pools
+	allocs := testing.AllocsPerRun(200, roundtrip)
+	// Each iteration runs two full ServeHTTP request cycles; net/http request
+	// parsing and the two ResponseRecorders dominate. The pooled response
+	// path itself adds zero steady-state allocations.
+	if allocs > 90 {
+		t.Fatalf("admit+done roundtrip allocates %v allocs, want <= 90", allocs)
+	}
+}

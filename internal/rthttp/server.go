@@ -7,8 +7,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -20,6 +22,7 @@ import (
 	"dbwlm/internal/policy"
 	"dbwlm/internal/rt"
 	"dbwlm/internal/sim"
+	"dbwlm/internal/wire"
 )
 
 // Server is the wlmd HTTP front-end over a live runtime. Clients call
@@ -34,16 +37,30 @@ type Server struct {
 	predict *rt.PredictGate
 	mux     *http.ServeMux
 
+	// dispatch executes /batch frames — the same transport-independent
+	// dispatcher the TCP wire listener runs, so both paths produce identical
+	// verdicts and recorder events for one op stream.
+	dispatch wire.Dispatcher
+
 	// statsBuf recycles snapshot scratch buffers across /stats requests so
 	// the monitoring read does not allocate a fresh per-class slice each poll.
 	statsBuf sync.Pool
+	// respPool recycles the hand-built JSON reply buffers of the single-op
+	// hot endpoints (/admit, /done), keeping their per-request response cost
+	// to a pool round-trip instead of an encoder allocation.
+	respPool sync.Pool
+	// batchPool recycles /batch scratch (body, decoded ops, results, encoded
+	// response) across requests.
+	batchPool sync.Pool
 }
 
 // NewServer wires the endpoints over a runtime.
 func NewServer(r *rt.Runtime) *Server {
 	s := &Server{rt: r, mux: http.NewServeMux()}
+	s.dispatch.RT = r
 	s.handle("/admit", methods{http.MethodPost: s.handleAdmit})
 	s.handle("/done", methods{http.MethodPost: s.handleDone})
+	s.handle("/batch", methods{http.MethodPost: s.handleBatch})
 	s.handle("/stats", methods{http.MethodGet: s.handleStats})
 	s.handle("/trace", methods{http.MethodGet: s.handleTrace})
 	s.handle("/metrics", methods{http.MethodGet: s.handleMetrics})
@@ -92,7 +109,10 @@ func (s *Server) handle(path string, m methods) {
 // field (fingerprinted, planned, and runtime-predicted before admission) and
 // /done with the same `sql` feeds the observed service time back into the
 // model. Call before serving traffic.
-func (s *Server) EnablePredict(g *rt.PredictGate) { s.predict = g }
+func (s *Server) EnablePredict(g *rt.PredictGate) {
+	s.predict = g
+	s.dispatch.Predict = g
+}
 
 // EnablePprof mounts the net/http/pprof handlers under /debug/pprof/ on the
 // server's own mux (the wlmd -pprof flag), so profiling needs no second
@@ -166,7 +186,86 @@ func (s *Server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	if !g.Admitted() {
 		status = http.StatusTooManyRequests
 	}
-	writeJSON(w, status, resp)
+	s.writeAdmit(w, status, &resp)
+}
+
+// writeAdmit renders an AdmitResponse through a pooled scratch buffer —
+// byte-identical in shape to what encoding/json produces for the struct
+// (same fields, same omitempty rules) without the per-request encoder state.
+// The hot verdict strings and tokens are plain ASCII, so appendJSONString's
+// fast path runs a single copy.
+func (s *Server) writeAdmit(w http.ResponseWriter, status int, resp *AdmitResponse) {
+	bp, _ := s.respPool.Get().(*[]byte)
+	if bp == nil {
+		b := make([]byte, 0, 256)
+		bp = &b
+	}
+	b := (*bp)[:0]
+	b = append(b, `{"verdict":`...)
+	b = appendJSONString(b, resp.Verdict)
+	if resp.Token != "" {
+		b = append(b, `,"token":`...)
+		b = appendJSONString(b, resp.Token)
+	}
+	if resp.Cost != 0 {
+		b = append(b, `,"cost":`...)
+		b = appendJSONFloat(b, resp.Cost)
+	}
+	if resp.PredictedSeconds != 0 {
+		b = append(b, `,"predicted_seconds":`...)
+		b = appendJSONFloat(b, resp.PredictedSeconds)
+	}
+	if resp.PredictedBucket != "" {
+		b = append(b, `,"predicted_bucket":`...)
+		b = appendJSONString(b, resp.PredictedBucket)
+	}
+	if resp.Modeled {
+		b = append(b, `,"modeled":true`...)
+	}
+	if resp.CacheHit {
+		b = append(b, `,"cache_hit":true`...)
+	}
+	b = append(b, '}', '\n')
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(b)
+	*bp = b
+	s.respPool.Put(bp)
+}
+
+// appendJSONString appends s as a JSON string literal. The fast path — every
+// string this server emits on its hot endpoints — is ASCII with nothing to
+// escape; anything else falls back to the stdlib encoder's rules via
+// strconv.AppendQuote, which escapes quotes, backslashes, and controls.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
+			return strconv.AppendQuote(b, s)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// appendJSONFloat appends v using encoding/json's format selection: fixed
+// notation inside the range JSON numbers read naturally, exponent outside it
+// (with the stdlib's e-07 -> e-7 exponent cleanup, so output stays
+// byte-identical to json.Marshal).
+func appendJSONFloat(b []byte, v float64) []byte {
+	abs := math.Abs(v)
+	f := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		f = 'e'
+	}
+	b = strconv.AppendFloat(b, v, f, -1, 64)
+	if f == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
 }
 
 func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
@@ -192,16 +291,97 @@ func (s *Server) handleDone(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.rt.Done(g, ideal)
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "released"})
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(releasedJSON)
+}
+
+// releasedJSON is the constant /done success body; the hot release path never
+// builds it per request.
+var releasedJSON = []byte("{\"status\":\"released\"}\n")
+
+// batchState is one /batch request's reusable scratch: request body, decoded
+// ops, dispatch results, and the encoded response payload.
+type batchState struct {
+	body []byte
+	req  wire.BatchReq
+	res  []wire.Result
+	out  []byte
+}
+
+// handleBatch serves the binary batched admission protocol over HTTP: the
+// request body is one wire request payload (no length prefix — HTTP frames
+// the body), the response body one wire response payload. It shares the
+// dispatcher with the TCP listener, so a batch admits, releases, and records
+// exactly as it would on the raw socket; HTTP supplies framing, routing, and
+// middleware at the cost of per-request header overhead (bench_wire.sh
+// measures that gap).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	st, _ := s.batchPool.Get().(*batchState)
+	if st == nil {
+		st = &batchState{}
+	}
+	defer s.batchPool.Put(st)
+	if r.ContentLength > wire.MaxFrame {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"batch body %d exceeds %d", r.ContentLength, wire.MaxFrame)
+		return
+	}
+	var err error
+	st.body, err = readBody(st.body[:0], http.MaxBytesReader(w, r.Body, wire.MaxFrame))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	if err := wire.DecodeRequest(st.body, &st.req); err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	st.res = s.dispatch.Dispatch(st.req.Ops, st.res)
+	out, err := wire.EncodeResponse(st.out, st.res[:len(st.req.Ops)])
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if cap(out) > cap(st.out) {
+		st.out = out
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	w.Write(out)
+}
+
+// readBody reads r to EOF into buf, reusing its capacity (io.ReadAll always
+// allocates; the batch path must not once warm).
+func readBody(buf []byte, r io.Reader) ([]byte, error) {
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
 }
 
 // StatsResponse is the /stats reply: the merged-shard monitoring view.
 // Predict is present only on a predict-enabled server.
 type StatsResponse struct {
-	InEngine        int              `json:"in_engine"`
-	LowPriorityGate bool             `json:"low_priority_gate"`
-	Classes         []rt.ClassStats  `json:"classes"`
-	Predict         *rt.PredictStats `json:"predict,omitempty"`
+	InEngine        int  `json:"in_engine"`
+	LowPriorityGate bool `json:"low_priority_gate"`
+	// NumCPU and GOMAXPROCS describe the host the daemon runs on, so every
+	// scrape — and every benchmark built on one — carries its own hardware
+	// provenance (a GOMAXPROCS=8 run on a single-CPU box measures scheduling
+	// overhead, not parallel speedup; the stats say which one you got).
+	NumCPU     int              `json:"num_cpu"`
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Classes    []rt.ClassStats  `json:"classes"`
+	Predict    *rt.PredictStats `json:"predict,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -210,6 +390,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := StatsResponse{
 		InEngine:        s.rt.InEngine(),
 		LowPriorityGate: s.rt.LowPriorityGate(),
+		NumCPU:          runtime.NumCPU(),
+		GOMAXPROCS:      runtime.GOMAXPROCS(0),
 		Classes:         classes,
 	}
 	if s.predict != nil {

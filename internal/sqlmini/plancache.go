@@ -3,6 +3,7 @@ package sqlmini
 import (
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // PlanCost is the memoized scalar cost summary of a plan — everything the
@@ -138,6 +139,23 @@ func (c *PlanCache) PlanInfo(sql string) (entry *CachedPlan, hit bool, err error
 	}
 	//dbwlm:nolint hotpath -- a cache miss pays parse+plan+insert by definition; the steady state is the hit path above
 	return c.planMiss(fp, sql)
+}
+
+// PlanInfoBytes is PlanInfo for SQL held in a transient byte buffer — the
+// batched wire transport's decode scratch, which is overwritten by the next
+// frame. The bytes are read only during fingerprinting (via an unsafe no-copy
+// string view that is never retained); a cache miss copies them into a stable
+// string before parsing, so no cached structure ever aliases the caller's
+// buffer. The hit path — the steady state — is allocation-free.
+//
+//dbwlm:hotpath
+func (c *PlanCache) PlanInfoBytes(sql []byte) (entry *CachedPlan, hit bool, err error) {
+	fp := FingerprintSQL(unsafe.String(unsafe.SliceData(sql), len(sql)))
+	if e := c.Lookup(fp); e != nil {
+		return e, true, nil
+	}
+	//dbwlm:nolint hotpath -- a cache miss pays the stable-string copy plus parse+plan+insert by definition
+	return c.planMiss(fp, string(sql))
 }
 
 // planMiss is the cold half of PlanInfo: parse, plan, and insert, all outside

@@ -37,6 +37,7 @@ WALL_P1=$(bt_wall 1)
 WALL_P2=$(bt_wall 2)
 
 NUM_CPU=$(nproc 2>/dev/null || echo 1)
+GMP=${GOMAXPROCS:-$NUM_CPU}
 
 cat > BENCH_kernel.json <<EOF
 {
@@ -46,7 +47,8 @@ cat > BENCH_kernel.json <<EOF
   "engine_crowded_allocs_per_op": $CROWDED_ALLOCS,
   "benchtables_wall_seconds": $WALL_P1,
   "benchtables_wall_by_gomaxprocs": {"1": $WALL_P1, "2": $WALL_P2},
-  "num_cpu": $NUM_CPU
+  "num_cpu": $NUM_CPU,
+  "gomaxprocs": $GMP
 }
 EOF
 

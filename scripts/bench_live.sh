@@ -12,6 +12,16 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+NUM_CPU=$(nproc 2>/dev/null || echo 1)
+# The GOMAXPROCS 2/4/8 rows are only scaling measurements when real cores
+# back them. BENCH_SMP=require turns "taken on a 1-CPU host" from a JSON
+# caveat into a loud failure — for CI hosts that are supposed to be SMP.
+if [ "${BENCH_SMP:-}" = "require" ] && [ "$NUM_CPU" -lt 2 ]; then
+	echo "bench_live: BENCH_SMP=require but this host has $NUM_CPU CPU;" \
+		"GOMAXPROCS scaling rows would measure scheduling overhead, not speedup" >&2
+	exit 1
+fi
+
 BENCH_OUT=$(go test -run '^$' -bench 'BenchmarkLiveAdmit$|BenchmarkLiveAdmitContended$|BenchmarkSnapshot$' \
 	-benchmem -benchtime 300000x -cpu 1,2,4,8 ./internal/rt/)
 
@@ -42,12 +52,13 @@ rows=$(printf '%b' "$rows" | sed '$ s/,$//')
 
 CONT_NS=$(metric "BenchmarkLiveAdmitContended-8" "ns/op")
 SNAP_NS=$(metric "BenchmarkSnapshot-8" "ns/op")
-NUM_CPU=$(nproc 2>/dev/null || echo 1)
+GMP=${GOMAXPROCS:-$NUM_CPU}
 
 cat > BENCH_live.json <<EOF
 {
   "benchmark": "BenchmarkLiveAdmit (admit+done cycle, open gate)",
   "num_cpu": $NUM_CPU,
+  "gomaxprocs": $GMP,
   "live_admit": [
 $rows
   ],

@@ -40,6 +40,7 @@ PRED_OFF_ALLOCS=$(metric "BenchmarkPredictAdmit" "allocs/op")
 PRED_ON_NS=$(metric "BenchmarkPredictAdmitRecorded" "ns/op")
 PRED_ON_ALLOCS=$(metric "BenchmarkPredictAdmitRecorded" "allocs/op")
 NUM_CPU=$(nproc 2>/dev/null || echo 1)
+GMP=${GOMAXPROCS:-$NUM_CPU}
 
 for v in "$LIVE_OFF_NS" "$LIVE_ON_NS" "$PRED_OFF_NS" "$PRED_ON_NS"; do
 	if [ -z "$v" ]; then
@@ -92,6 +93,7 @@ cat > BENCH_obs.json <<EOF
 {
   "benchmark": "flight-recorder cost on the admission hot paths (off vs on)",
   "num_cpu": $NUM_CPU,
+  "gomaxprocs": $GMP,
   "baseline_predict_admit_ns": ${BASE_NS:-null},
   "live_admit": {
     "off_ns_per_op": $LIVE_OFF_NS,

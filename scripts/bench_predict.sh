@@ -41,6 +41,7 @@ IDX1K_NS=$(metric "$KNN_OUT" "BenchmarkKNNIndexed1000" "ns/op")
 LIN4K_NS=$(metric "$KNN_OUT" "BenchmarkKNNLinear4000" "ns/op")
 IDX4K_NS=$(metric "$KNN_OUT" "BenchmarkKNNIndexed4000" "ns/op")
 NUM_CPU=$(nproc 2>/dev/null || echo 1)
+GMP=${GOMAXPROCS:-$NUM_CPU}
 
 # Guard the zero-allocation acceptance criteria: the predict-admit cycle and
 # the plan-cache hit must not allocate.
@@ -59,6 +60,7 @@ cat > BENCH_predict.json <<EOF
 {
   "benchmark": "wire-speed prediction pipeline (cache hit + indexed k-NN + bucket gate)",
   "num_cpu": $NUM_CPU,
+  "gomaxprocs": $GMP,
   "predict_admit": {
     "ns_per_op": $ADMIT_NS,
     "allocs_per_op": $ADMIT_ALLOCS

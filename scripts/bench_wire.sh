@@ -1,0 +1,122 @@
+#!/bin/sh
+# bench_wire.sh — record batched-admission wire throughput into BENCH_wire.json.
+#
+# Two layers are measured:
+#   - Codec microbenchmarks (BenchmarkCodecRoundtrip256, BenchmarkDispatch256):
+#     the frame encode/decode cycle and the transport-free batch dispatch.
+#     Both must be allocation-free; a regression is a build failure.
+#   - The server matrix: a real wlmd (HTTP + wire listeners, MPL opened wide so
+#     the benchmark prices the transport, not queueing) driven by wlmload at
+#     GOMAXPROCS 1/2/4/8, with the binary wire path at batch 1/16/256 against
+#     the single-op HTTP-JSON path. Acceptance: at batch 256 the binary path
+#     must sustain >= 5x the HTTP-JSON decisions/sec.
+# Every row records num_cpu and gomaxprocs: on a 1-core host the >1 rows
+# measure scheduling overhead, not parallel speedup. Run via `make bench-wire`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+NUM_CPU=$(nproc 2>/dev/null || echo 1)
+if [ "${BENCH_SMP:-}" = "require" ] && [ "$NUM_CPU" -lt 2 ]; then
+	echo "bench_wire: BENCH_SMP=require but this host has $NUM_CPU CPU" >&2
+	exit 1
+fi
+
+# --- codec microbenchmarks -------------------------------------------------
+CODEC_OUT=$(go test -run '^$' -bench 'BenchmarkCodecRoundtrip256$|BenchmarkDispatch256$' \
+	-benchmem -benchtime 20000x ./internal/wire/)
+
+metric() { # metric <benchmark-name> <field: ns/op|allocs/op>
+	printf '%s\n' "$CODEC_OUT" | awk -v name="$1" -v field="$2" '
+		$1 ~ "^"name"(-[0-9]+)?$" {
+			for (i = 2; i < NF; i++) if ($(i + 1) == field) { print $i; exit }
+		}'
+}
+CODEC_NS=$(metric "BenchmarkCodecRoundtrip256" "ns/op")
+CODEC_ALLOCS=$(metric "BenchmarkCodecRoundtrip256" "allocs/op")
+DISPATCH_NS=$(metric "BenchmarkDispatch256" "ns/op")
+DISPATCH_ALLOCS=$(metric "BenchmarkDispatch256" "allocs/op")
+for pair in "CodecRoundtrip256=$CODEC_ALLOCS" "Dispatch256=$DISPATCH_ALLOCS"; do
+	if [ "${pair#*=}" != "0" ]; then
+		echo "bench_wire: Benchmark${pair%%=*} allocates ${pair#*=} allocs/op, want 0" >&2
+		exit 1
+	fi
+done
+
+# --- server matrix ---------------------------------------------------------
+go build -o /tmp/dbwlm_wlmd ./cmd/wlmd
+go build -o /tmp/dbwlm_wlmload ./cmd/wlmload
+
+# Open the gates wide: the matrix prices transports, so nothing should queue.
+POLICY=/tmp/dbwlm_bench_wire_policy.json
+cat > "$POLICY" <<'EOF'
+{"global_max_mpl": 0, "classes": [{"class": "interactive", "max_mpl": 65536}]}
+EOF
+
+HTTP_ADDR=127.0.0.1:8639
+WIRE_ADDR=127.0.0.1:9639
+WLMD_PID=""
+cleanup() { [ -n "$WLMD_PID" ] && kill "$WLMD_PID" 2>/dev/null || true; }
+trap cleanup EXIT INT TERM
+
+start_wlmd() { # start_wlmd <gomaxprocs>
+	GOMAXPROCS="$1" /tmp/dbwlm_wlmd -addr "$HTTP_ADDR" -wire-addr "$WIRE_ADDR" \
+		-global-mpl 0 -policy "$POLICY" >/dev/null 2>&1 &
+	WLMD_PID=$!
+	i=0
+	until curl -sf "http://$HTTP_ADDR/stats" >/dev/null 2>&1; do
+		i=$((i + 1))
+		if [ "$i" -gt 50 ]; then
+			echo "bench_wire: wlmd did not come up" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+}
+stop_wlmd() {
+	kill "$WLMD_PID" 2>/dev/null || true
+	wait "$WLMD_PID" 2>/dev/null || true
+	WLMD_PID=""
+}
+
+rows=""
+RATIO_OK=""
+for P in 1 2 4 8; do
+	start_wlmd "$P"
+	HTTP_JSON=$(/tmp/dbwlm_wlmload -mode http -url "http://$HTTP_ADDR" \
+		-conns 4 -ops 20000 -json)
+	HTTP_RATE=$(printf '%s' "$HTTP_JSON" | jq -r .decisions_per_sec)
+	for B in 1 16 256; do
+		WIRE_JSON=$(/tmp/dbwlm_wlmload -mode wire -addr "$WIRE_ADDR" \
+			-conns 4 -depth 4 -batch "$B" -ops 200000 -json)
+		WIRE_RATE=$(printf '%s' "$WIRE_JSON" | jq -r .decisions_per_sec)
+		WIRE_NS=$(awk -v r="$WIRE_RATE" 'BEGIN { printf "%.1f", 1e9 / r }')
+		rows="$rows    {\"gomaxprocs\": $P, \"batch\": $B, \"wire_decisions_per_sec\": $WIRE_RATE, \"wire_ns_per_decision\": $WIRE_NS, \"http_json_decisions_per_sec\": $HTTP_RATE, \"wire_vs_http_ratio\": $(awk -v w="$WIRE_RATE" -v h="$HTTP_RATE" 'BEGIN { printf "%.1f", w / h }'), \"num_cpu\": $NUM_CPU},\n"
+		if [ "$B" = 256 ]; then
+			OK=$(awk -v w="$WIRE_RATE" -v h="$HTTP_RATE" 'BEGIN { print (w >= 5 * h) ? "yes" : "no" }')
+			if [ "$OK" = "no" ]; then
+				echo "bench_wire: GOMAXPROCS=$P batch=256: wire $WIRE_RATE vs http $HTTP_RATE decisions/sec — ratio under 5x" >&2
+				RATIO_OK="fail"
+			fi
+		fi
+	done
+	stop_wlmd
+done
+rows=$(printf '%b' "$rows" | sed '$ s/,$//')
+[ "$RATIO_OK" = "fail" ] && exit 1
+
+cat > BENCH_wire.json <<EOF
+{
+  "benchmark": "batched admission wire protocol vs single-op HTTP-JSON (wlmd + wlmload, open gate)",
+  "num_cpu": $NUM_CPU,
+  "codec_roundtrip_256_ns_per_op": $CODEC_NS,
+  "codec_roundtrip_256_allocs_per_op": $CODEC_ALLOCS,
+  "dispatch_256_ns_per_op": $DISPATCH_NS,
+  "dispatch_256_allocs_per_op": $DISPATCH_ALLOCS,
+  "matrix": [
+$rows
+  ]
+}
+EOF
+
+cat BENCH_wire.json
