@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race lint verify bench bench-live bench-predict bench-obs bench-wire fuzz-short
+.PHONY: build test vet race lint verify bench bench-live bench-predict bench-obs bench-wire bench-trace fuzz-short
 
 build:
 	$(GO) build ./...
@@ -58,8 +58,19 @@ bench-obs:
 bench-wire:
 	./scripts/bench_wire.sh
 
-# fuzz-short smoke-fuzzes the SQL pipeline (lexer/parser/planner/fingerprint)
-# and the wire-frame decoder — enough to shake out panics without stalling CI.
+# bench-trace records trace streaming-decode throughput and the compressed
+# what-if replay comparison into BENCH_trace.json. Fails if the binary decode
+# allocates or falls under 1M rows/sec, if the compressed replay is under 10x
+# faster than the full replay, or if its divergence exceeds the bound.
+bench-trace:
+	./scripts/bench_trace.sh
+
+# fuzz-short smoke-fuzzes the SQL pipeline (lexer/parser/planner/fingerprint),
+# the wire-frame decoder, and both trace encodings — enough to shake out panics
+# without stalling CI. The trace patterns are anchored because the package has
+# two targets.
 fuzz-short:
 	$(GO) test -fuzz FuzzParse -fuzztime 10s -run '^$$' ./internal/sqlmini/
 	$(GO) test -fuzz FuzzDecode -fuzztime 10s -run '^$$' ./internal/wire/
+	$(GO) test -fuzz '^FuzzTraceDecode$$' -fuzztime 10s -run '^$$' ./internal/trace/
+	$(GO) test -fuzz '^FuzzTraceJSONL$$' -fuzztime 10s -run '^$$' ./internal/trace/

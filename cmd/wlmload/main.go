@@ -9,6 +9,12 @@
 // the in-engine population stays bounded while every decision exercises the
 // full gate/counter/recorder path. scripts/bench_wire.sh runs it across batch
 // sizes and GOMAXPROCS settings to produce BENCH_wire.json.
+//
+// With -trace FILE the op stream comes from a recorded workload trace
+// instead: admits are paced open-loop from the recorded inter-arrival gaps
+// (scaled by -speed), so a backed-up daemon sees the recorded offered load,
+// not a stream throttled by its own response times. Trace replay runs on the
+// wire transport.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"dbwlm/internal/trace"
 	"dbwlm/internal/wire"
 )
 
@@ -50,19 +57,28 @@ type grantRec struct {
 
 // config is the parsed command line.
 type config struct {
-	mode    string
-	addr    string
-	baseURL string
-	conns   int
-	depth   int
-	batch   int
-	ops     int64
-	cost    float64
-	sqlFrac float64
-	block   bool
-	mix     []classMix
-	seed    uint64
-	jsonOut bool
+	mode      string
+	addr      string
+	baseURL   string
+	conns     int
+	depth     int
+	batch     int
+	ops       int64
+	cost      float64
+	sqlFrac   float64
+	block     bool
+	mix       []classMix
+	seed      uint64
+	jsonOut   bool
+	tracePath string
+	speed     float64
+}
+
+// latSample is one timed round trip and the number of decisions it carried;
+// decision-latency percentiles weight each RTT by its op count.
+type latSample struct {
+	sec float64
+	ops int
 }
 
 // counters aggregates op outcomes across all connections.
@@ -90,10 +106,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wlmload:", err)
 		os.Exit(2)
 	}
+	var traceRows []trace.Row
+	if cfg.tracePath != "" {
+		src, closer, err := trace.OpenFile(cfg.tracePath)
+		if err == nil {
+			traceRows, err = trace.ReadAll(src)
+			closer.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wlmload:", err)
+			os.Exit(1)
+		}
+	}
 	var (
 		cnt  counters
 		mu   sync.Mutex
-		lats []float64 // seconds, one per round trip
+		lats []latSample
 	)
 	issued := &atomic.Int64{}
 	start := time.Now()
@@ -103,15 +131,17 @@ func main() {
 		go func(c int) {
 			defer wg.Done()
 			var (
-				local []float64
+				local []latSample
 				err   error
 			)
-			switch cfg.mode {
-			case "wire":
+			switch {
+			case cfg.tracePath != "":
+				local, err = runTraceConn(cfg, c, traceRows, start, &cnt)
+			case cfg.mode == "wire":
 				local, err = runWireConn(cfg, c, issued, &cnt)
-			case "http-batch":
+			case cfg.mode == "http-batch":
 				local, err = runHTTPBatchConn(cfg, c, issued, &cnt)
-			case "http":
+			case cfg.mode == "http":
 				local, err = runHTTPConn(cfg, c, issued, &cnt)
 			}
 			if err != nil {
@@ -147,6 +177,8 @@ func parseFlags() (config, error) {
 	flag.StringVar(&mix, "mix", "interactive=1", "class mix as name=weight pairs, in server class-table order")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "RNG seed")
 	flag.BoolVar(&cfg.jsonOut, "json", false, "emit the report as JSON")
+	flag.StringVar(&cfg.tracePath, "trace", "", "replay this recorded trace open-loop instead of generating ops")
+	flag.Float64Var(&cfg.speed, "speed", 1, "trace replay speed multiplier (2 = twice as fast as recorded)")
 	flag.Parse()
 	switch cfg.mode {
 	case "wire", "http-batch", "http":
@@ -158,6 +190,12 @@ func parseFlags() (config, error) {
 	}
 	if cfg.batch > wire.MaxOps {
 		return cfg, fmt.Errorf("-batch %d exceeds wire.MaxOps %d", cfg.batch, wire.MaxOps)
+	}
+	if cfg.tracePath != "" && cfg.mode != "wire" {
+		return cfg, fmt.Errorf("-trace requires -mode wire")
+	}
+	if cfg.speed <= 0 {
+		return cfg, fmt.Errorf("-speed must be positive")
 	}
 	for i, part := range strings.Split(mix, ",") {
 		name, w, ok := strings.Cut(strings.TrimSpace(part), "=")
@@ -245,20 +283,24 @@ func harvest(results []wire.Result, grants *[]grantRec, cnt *counters) {
 // runWireConn drives one pipelined wire connection: a writer goroutine keeps
 // up to depth frames in flight while this goroutine reads, decodes, and times
 // responses. Returns per-frame round-trip seconds.
-func runWireConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]float64, error) {
+func runWireConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]latSample, error) {
 	conn, err := net.Dial("tcp", cfg.addr)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
+	type sent struct {
+		at  time.Time
+		ops int
+	}
 	var (
 		rng    = rand.New(rand.NewPCG(cfg.seed, uint64(id)))
 		fc     = wire.NewFrameConn(conn)
 		grants []grantRec
-		sendTs = make(chan time.Time, cfg.depth)
+		sendTs = make(chan sent, cfg.depth)
 		werr   = make(chan error, 1)
 		mu     sync.Mutex // guards grants between writer (build) and reader (harvest)
-		lats   []float64
+		lats   []latSample
 	)
 	go func() {
 		defer close(sendTs)
@@ -283,7 +325,7 @@ func runWireConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]flo
 				return
 			}
 			buf = payload
-			sendTs <- time.Now() // blocks at depth frames in flight
+			sendTs <- sent{time.Now(), len(ops)} // blocks at depth frames in flight
 			if err := wfc.WriteFrame(payload); err != nil {
 				werr <- err
 				return
@@ -299,7 +341,7 @@ func runWireConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]flo
 		if err := wire.DecodeResponse(payload, &res); err != nil {
 			return lats, err
 		}
-		lats = append(lats, time.Since(ts).Seconds())
+		lats = append(lats, latSample{time.Since(ts.at).Seconds(), ts.ops})
 		mu.Lock()
 		harvest(res.Results, &grants, cnt)
 		mu.Unlock()
@@ -317,7 +359,7 @@ func runWireConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]flo
 		ops := make([]wire.Op, 0, n)
 		for _, g := range grants[len(grants)-n:] {
 			ops = append(ops, wire.Op{Code: wire.OpDone, Class: g.class, Shard: g.shard,
-				GShard: g.gshard, Start: g.start, QID: g.qid})
+				GShard: g.gshard, Start: g.start, QID: g.qid, FPHi: g.fpHi, FPLo: g.fpLo})
 		}
 		grants = grants[:len(grants)-n]
 		payload, err := wire.EncodeRequest(nil, ops)
@@ -327,16 +369,162 @@ func runWireConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]flo
 		if err := fc.WriteFrame(payload); err != nil {
 			return lats, err
 		}
-		if _, err := fc.ReadFrame(); err != nil {
+		payload, err = fc.ReadFrame()
+		if err != nil {
 			return lats, err
 		}
+		if err := wire.DecodeResponse(payload, &res); err != nil {
+			return lats, err
+		}
+		var drained []grantRec
+		harvest(res.Results, &drained, cnt)
+	}
+	return lats, nil
+}
+
+// runTraceConn replays this connection's share of a recorded trace against
+// the daemon, open-loop: each admit is due at its recorded arrival offset
+// divided by -speed, measured from the shared start instant, and frames are
+// sent when due whether or not earlier responses have come back (the send
+// queue is unbounded, so a backed-up daemon cannot throttle the offered
+// load). Done ops piggyback on later frames to keep the daemon's population
+// bounded. Trace class indexes map onto the -mix class table modulo its
+// size; rows carrying SQL are sent as admit-SQL when -sql-frac > 0.
+func runTraceConn(cfg config, id int, rows []trace.Row, start time.Time, cnt *counters) ([]latSample, error) {
+	conn, err := net.Dial("tcp", cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	type sent struct {
+		at  time.Time
+		ops int
+	}
+	var (
+		fc     = wire.NewFrameConn(conn)
+		grants []grantRec
+		sendTs = make(chan sent, len(rows)+1) // never blocks: open loop
+		werr   = make(chan error, 1)
+		mu     sync.Mutex
+		lats   []latSample
+	)
+	deadline := int64(1) // try-don't-wait
+	if cfg.block {
+		deadline = 0
+	}
+	dueAt := func(r *trace.Row) time.Time {
+		return start.Add(time.Duration(float64(r.ArriveUS)/cfg.speed) * time.Microsecond)
+	}
+	go func() {
+		defer close(sendTs)
+		wfc := wire.NewFrameConn(conn)
+		var ops []wire.Op
+		var buf []byte
+		// This connection owns every conns-th row.
+		mine := make([]int, 0, len(rows)/cfg.conns+1)
+		for i := id; i < len(rows); i += cfg.conns {
+			mine = append(mine, i)
+		}
+		for p := 0; p < len(mine); {
+			if wait := time.Until(dueAt(&rows[mine[p]])); wait > 0 {
+				time.Sleep(wait)
+			}
+			ops = ops[:0]
+			// Everything due now rides in one frame, up to the batch cap.
+			for p < len(mine) && len(ops) < cfg.batch {
+				r := &rows[mine[p]]
+				if time.Until(dueAt(r)) > 0 {
+					break
+				}
+				m := cfg.mix[int(r.Class)%len(cfg.mix)]
+				cost := r.EstTimerons
+				if cost <= 0 {
+					cost = cfg.cost
+				}
+				if len(r.SQL) > 0 && cfg.sqlFrac > 0 {
+					ops = append(ops, wire.Op{Code: wire.OpAdmitSQL, Class: m.ID,
+						DeadlineNS: deadline, SQL: r.SQL})
+				} else {
+					ops = append(ops, wire.Op{Code: wire.OpAdmit, Class: m.ID,
+						DeadlineNS: deadline, Cost: cost})
+				}
+				p++
+			}
+			// Piggyback done ops in the remaining slots.
+			mu.Lock()
+			for len(ops) < cfg.batch && len(grants) > 0 {
+				g := grants[len(grants)-1]
+				grants = grants[:len(grants)-1]
+				ops = append(ops, wire.Op{Code: wire.OpDone, Class: g.class, Shard: g.shard,
+					GShard: g.gshard, Start: g.start, QID: g.qid, FPHi: g.fpHi, FPLo: g.fpLo})
+			}
+			mu.Unlock()
+			payload, err := wire.EncodeRequest(buf, ops)
+			if err != nil {
+				werr <- err
+				return
+			}
+			buf = payload
+			sendTs <- sent{time.Now(), len(ops)}
+			if err := wfc.WriteFrame(payload); err != nil {
+				werr <- err
+				return
+			}
+		}
+		werr <- nil
+	}()
+	var res wire.BatchRes
+	for ts := range sendTs {
+		payload, err := fc.ReadFrame()
+		if err != nil {
+			return lats, err
+		}
+		if err := wire.DecodeResponse(payload, &res); err != nil {
+			return lats, err
+		}
+		lats = append(lats, latSample{time.Since(ts.at).Seconds(), ts.ops})
+		mu.Lock()
+		harvest(res.Results, &grants, cnt)
+		mu.Unlock()
+	}
+	if err := <-werr; err != nil {
+		return lats, err
+	}
+	// Release whatever is still admitted, unmeasured.
+	for len(grants) > 0 {
+		n := len(grants)
+		if n > cfg.batch {
+			n = cfg.batch
+		}
+		ops := make([]wire.Op, 0, n)
+		for _, g := range grants[len(grants)-n:] {
+			ops = append(ops, wire.Op{Code: wire.OpDone, Class: g.class, Shard: g.shard,
+				GShard: g.gshard, Start: g.start, QID: g.qid, FPHi: g.fpHi, FPLo: g.fpLo})
+		}
+		grants = grants[:len(grants)-n]
+		payload, err := wire.EncodeRequest(nil, ops)
+		if err != nil {
+			return lats, err
+		}
+		if err := fc.WriteFrame(payload); err != nil {
+			return lats, err
+		}
+		payload, err = fc.ReadFrame()
+		if err != nil {
+			return lats, err
+		}
+		if err := wire.DecodeResponse(payload, &res); err != nil {
+			return lats, err
+		}
+		var drained []grantRec
+		harvest(res.Results, &drained, cnt)
 	}
 	return lats, nil
 }
 
 // runHTTPBatchConn drives POST /batch: the same binary frames, one in flight
 // per connection, HTTP supplying the framing.
-func runHTTPBatchConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]float64, error) {
+func runHTTPBatchConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]latSample, error) {
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
 	defer client.CloseIdleConnections()
 	var (
@@ -345,7 +533,7 @@ func runHTTPBatchConn(cfg config, id int, issued *atomic.Int64, cnt *counters) (
 		ops    []wire.Op
 		buf    []byte
 		res    wire.BatchRes
-		lats   []float64
+		lats   []latSample
 	)
 	for {
 		take := int64(cfg.batch)
@@ -366,7 +554,7 @@ func runHTTPBatchConn(cfg config, id int, issued *atomic.Int64, cnt *counters) (
 		if err != nil {
 			return lats, err
 		}
-		lats = append(lats, time.Since(start).Seconds())
+		lats = append(lats, latSample{time.Since(start).Seconds(), len(ops)})
 		if err := wire.DecodeResponse(body, &res); err != nil {
 			return lats, err
 		}
@@ -424,13 +612,13 @@ type httpGrant struct {
 // runHTTPConn drives the single-op form-encoded path: alternating POST /admit
 // and POST /done, one op per request — the baseline the wire protocol is
 // measured against.
-func runHTTPConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]float64, error) {
+func runHTTPConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]latSample, error) {
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
 	defer client.CloseIdleConnections()
 	rng := rand.New(rand.NewPCG(cfg.seed, uint64(id)))
 	var (
 		grants []httpGrant
-		lats   []float64
+		lats   []latSample
 		next   int64
 	)
 	for {
@@ -482,7 +670,7 @@ func runHTTPConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]flo
 				cnt.rejected.Add(1)
 			}
 		}
-		lats = append(lats, time.Since(start).Seconds())
+		lats = append(lats, latSample{time.Since(start).Seconds(), 1})
 	}
 	// Cleanup: release outstanding tokens, unmeasured.
 	for _, g := range grants {
@@ -519,27 +707,55 @@ type reportJSON struct {
 	P50Ms           float64 `json:"rtt_p50_ms"`
 	P95Ms           float64 `json:"rtt_p95_ms"`
 	P99Ms           float64 `json:"rtt_p99_ms"`
+	DecisionP50Ms   float64 `json:"decision_p50_ms"`
+	DecisionP95Ms   float64 `json:"decision_p95_ms"`
+	DecisionP99Ms   float64 `json:"decision_p99_ms"`
 	NumCPU          int     `json:"num_cpu"`
 	GOMAXPROCS      int     `json:"gomaxprocs"`
 }
 
-func report(cfg config, elapsed float64, lats []float64, cnt *counters) {
-	sort.Float64s(lats)
+func report(cfg config, elapsed float64, lats []latSample, cnt *counters) {
+	sort.Slice(lats, func(a, b int) bool { return lats[a].sec < lats[b].sec })
+	// rtt_* percentiles treat every round trip equally; decision_*
+	// percentiles weight each round trip by the decisions it carried, so a
+	// 64-op frame counts 64 times — the latency a typical *decision* saw.
 	pct := func(p float64) float64 {
 		if len(lats) == 0 {
 			return 0
 		}
 		i := int(p * float64(len(lats)-1))
-		return lats[i] * 1000
+		return lats[i].sec * 1000
+	}
+	var totalOps int64
+	for _, l := range lats {
+		totalOps += int64(l.ops)
+	}
+	dpct := func(p float64) float64 {
+		if totalOps == 0 {
+			return 0
+		}
+		target := int64(p * float64(totalOps-1))
+		var seen int64
+		for _, l := range lats {
+			if seen += int64(l.ops); seen > target {
+				return l.sec * 1000
+			}
+		}
+		return lats[len(lats)-1].sec * 1000
 	}
 	decisions := cnt.admitted.Load() + cnt.rejected.Load() + cnt.released.Load()
+	mode := cfg.mode
+	if cfg.tracePath != "" {
+		mode = "wire-trace"
+	}
 	r := reportJSON{
-		Mode: cfg.mode, Conns: cfg.conns, Depth: cfg.depth, Batch: cfg.batch,
+		Mode: mode, Conns: cfg.conns, Depth: cfg.depth, Batch: cfg.batch,
 		Ops: decisions, ElapsedSeconds: elapsed,
 		DecisionsPerSec: float64(decisions) / elapsed,
 		Admitted:        cnt.admitted.Load(), Rejected: cnt.rejected.Load(),
 		Released: cnt.released.Load(), Errors: cnt.errored.Load(),
 		P50Ms: pct(0.50), P95Ms: pct(0.95), P99Ms: pct(0.99),
+		DecisionP50Ms: dpct(0.50), DecisionP95Ms: dpct(0.95), DecisionP99Ms: dpct(0.99),
 		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
 	if cfg.jsonOut {
@@ -552,4 +768,6 @@ func report(cfg config, elapsed float64, lats []float64, cnt *counters) {
 		r.Admitted, r.Rejected, r.Released, r.Errors)
 	fmt.Printf("  rtt ms: p50 %.3f  p95 %.3f  p99 %.3f  (num_cpu=%d gomaxprocs=%d)\n",
 		r.P50Ms, r.P95Ms, r.P99Ms, r.NumCPU, r.GOMAXPROCS)
+	fmt.Printf("  decision ms: p50 %.3f  p95 %.3f  p99 %.3f\n",
+		r.DecisionP50Ms, r.DecisionP95Ms, r.DecisionP99Ms)
 }

@@ -9,6 +9,13 @@
 //	       [-oltp 40] [-bi 0.05] [-adhoc 0.12] [-monster 0.4]
 //	       [-cores 8] [-mem 4096] [-io 800]
 //	       [-trace out.jsonl] [-replay in.jsonl]
+//	       [-record out.trace] [-replay-trace in.trace]
+//
+// -record and -replay-trace use the versioned internal/trace format (binary
+// or JSONL by extension / sniffed magic byte); recording is transparent
+// (bit-identical engine results with or without it) and a recorded trace
+// replays bit-identically. -trace/-replay keep the older workload-level JSONL
+// entries.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"dbwlm/internal/engine"
 	"dbwlm/internal/governor"
 	"dbwlm/internal/sim"
+	"dbwlm/internal/trace"
 	"dbwlm/internal/workload"
 )
 
@@ -37,6 +45,8 @@ func main() {
 	ioMBps := flag.Float64("io", 800, "server IO bandwidth (MB/s)")
 	tracePath := flag.String("trace", "", "write the generated request trace to this JSONL file")
 	replayPath := flag.String("replay", "", "replay a previously recorded JSONL trace instead of generating")
+	recordPath := flag.String("record", "", "record the run to a versioned trace file (binary, or JSONL with a .jsonl/.json extension)")
+	replayTracePath := flag.String("replay-trace", "", "replay a versioned trace file instead of generating")
 	configPath := flag.String("config", "", "apply a JSON WLM configuration (overrides -profile)")
 	flag.Parse()
 
@@ -74,7 +84,24 @@ func main() {
 	}
 
 	var gens []workload.Generator
-	if *replayPath != "" {
+	var traceClose func() error
+	if *replayTracePath != "" {
+		src, closer, err := trace.OpenFile(*replayTracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		traceClose = closer.Close
+		g := trace.NewGen(src)
+		gens = []workload.Generator{g}
+		defer func() {
+			if err := g.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "replay:", err)
+				os.Exit(1)
+			}
+		}()
+		fmt.Printf("replaying trace %s\n", *replayTracePath)
+	} else if *replayPath != "" {
 		f, err := os.Open(*replayPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -92,6 +119,12 @@ func main() {
 		gens = workload.Consolidated(s.RNG().Fork(1), workload.ScenarioConfig{
 			OLTPRate: *oltp, BIRate: *bi, AdHocRate: *adhoc, MonsterProb: *monster,
 		})
+	}
+
+	var rec *trace.Recorder
+	if *recordPath != "" {
+		rec = trace.NewRecorder()
+		gens = workload.Record(gens, rec.Tap)
 	}
 
 	var entries []workload.TraceEntry
@@ -127,5 +160,16 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("\ntrace: %d requests written to %s\n", len(entries), *tracePath)
+	}
+	if rec != nil {
+		rec.DurationUS = int64(sim.DurationFromSeconds(*horizon))
+		if err := trace.WriteFile(*recordPath, rec.Header(), rec.Rows()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nrecorded %d rows to %s\n", len(rec.Rows()), *recordPath)
+	}
+	if traceClose != nil {
+		traceClose()
 	}
 }

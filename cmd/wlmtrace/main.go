@@ -1,0 +1,523 @@
+// Command wlmtrace inspects, converts, compresses, and replays workload
+// traces in the versioned internal/trace format.
+//
+// Usage:
+//
+//	wlmtrace info FILE
+//	wlmtrace convert IN OUT
+//	wlmtrace synth [-rows N] [-seed S] OUT
+//	wlmtrace compress [-ratio 16] [-strata 6] [-seed 0] IN OUT
+//	wlmtrace replay [-cores 8] [-mem 16384] [-io 800] [-seed 42] [-scale 0] FILE
+//	wlmtrace divergence [-bound 0.3] FULL COMPRESSED
+//	wlmtrace bench [-rows 2000000] [-whatif-rows 8000] [-bound 0.3] [-min-speedup 10]
+//
+// Encodings are sniffed on read (binary magic vs JSONL) and picked by
+// extension on write (.jsonl/.json → JSONL, anything else → binary), so
+// convert is just a read of IN and a write of OUT.
+//
+// replay drives the trace straight into a fresh deterministic sim/engine
+// pair and reports per-class arrivals, completions, and response times.
+// divergence replays both traces — the compressed one at its rate-preserving
+// time scale — and reports the per-class arrival-rate and response-histogram
+// total-variation distances; with -bound > 0 it exits nonzero when the worst
+// distance exceeds the bound. bench measures streaming decode throughput
+// (gate: zero allocs/row, >= 1M rows/sec) and the compressed what-if speedup
+// (gate: >= -min-speedup at divergence <= -bound), emitting a JSON report.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dbwlm/internal/engine"
+	"dbwlm/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	case "synth":
+		err = cmdSynth(os.Args[2:])
+	case "compress":
+		err = cmdCompress(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "divergence":
+		err = cmdDivergence(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wlmtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: wlmtrace info|convert|synth|compress|replay|divergence|bench [flags] [args]")
+	os.Exit(2)
+}
+
+// engineFlags registers the shared engine-sizing flags for replay-style
+// subcommands; the defaults match the divergence tests' mid-size box.
+func engineFlags(fs *flag.FlagSet) (cores, mem, iobw *float64, seed *uint64) {
+	cores = fs.Float64("cores", 8, "engine CPU cores")
+	mem = fs.Float64("mem", 16384, "engine memory (MB)")
+	iobw = fs.Float64("io", 800, "engine IO bandwidth (MB/s)")
+	seed = fs.Uint64("seed", 42, "replay simulator seed")
+	return
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return errors.New("info: want exactly one trace file")
+	}
+	src, closer, err := trace.OpenFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+	h := src.Header()
+	type classInfo struct {
+		rows   int64
+		weight float64
+	}
+	perClass := map[uint16]*classInfo{}
+	var row trace.Row
+	var rows int64
+	var weight float64
+	var lastUS int64
+	for {
+		if err := src.Next(&row); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return err
+		}
+		ci := perClass[row.Class]
+		if ci == nil {
+			ci = &classInfo{}
+			perClass[row.Class] = ci
+		}
+		w := row.Weight
+		if w <= 0 {
+			w = 1
+		}
+		ci.rows++
+		ci.weight += w
+		rows++
+		weight += w
+		lastUS = row.ArriveUS
+	}
+	durUS := h.DurationUS
+	if durUS <= 0 {
+		durUS = lastUS
+	}
+	fmt.Printf("%s: version %d, %d rows, weight %.0f, %.1fs recorded\n",
+		fs.Arg(0), h.Version, rows, weight, float64(durUS)/1e6)
+	for idx := 0; idx < len(h.Classes) || perClass[uint16(idx)] != nil; idx++ {
+		ci := perClass[uint16(idx)]
+		if ci == nil {
+			ci = &classInfo{}
+		}
+		fmt.Printf("  %-14s %8d rows  weight %10.0f\n", h.ClassName(uint16(idx)), ci.rows, ci.weight)
+	}
+	return nil
+}
+
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return errors.New("convert: want IN OUT")
+	}
+	src, closer, err := trace.OpenFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer closer.Close()
+	out, err := os.Create(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	w, err := trace.NewWriterFor(out, fs.Arg(1), src.Header())
+	if err != nil {
+		out.Close()
+		return err
+	}
+	var row trace.Row
+	var n int64
+	for {
+		if err := src.Next(&row); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			out.Close()
+			return err
+		}
+		if err := w.WriteRow(&row); err != nil {
+			out.Close()
+			return err
+		}
+		n++
+	}
+	if err := w.Flush(); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("converted %d rows: %s -> %s\n", n, fs.Arg(0), fs.Arg(1))
+	return nil
+}
+
+func cmdSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	rows := fs.Int("rows", 8000, "rows to generate")
+	seed := fs.Uint64("seed", 9, "generator seed")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return errors.New("synth: want OUT")
+	}
+	h, rs := trace.Synth(*seed, *rows)
+	if err := trace.WriteFile(fs.Arg(0), h, rs); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d synthetic rows to %s\n", len(rs), fs.Arg(0))
+	return nil
+}
+
+func cmdCompress(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	ratio := fs.Float64("ratio", 16, "target compression ratio (rows per representative)")
+	strata := fs.Int("strata", 6, "time strata clustering is confined to")
+	iters := fs.Int("iters", 0, "k-means iteration cap (0 = library default)")
+	seed := fs.Uint64("seed", 0, "clustering seed")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return errors.New("compress: want IN OUT")
+	}
+	src, closer, err := trace.OpenFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rows, err := trace.ReadAll(src)
+	closer.Close()
+	if err != nil {
+		return err
+	}
+	h := src.Header()
+	comp := trace.Compress(h, rows, trace.CompressConfig{
+		Ratio: *ratio, Strata: *strata, Iters: *iters, Seed: *seed,
+	})
+	if err := trace.WriteFile(fs.Arg(1), h, comp); err != nil {
+		return err
+	}
+	fmt.Printf("compressed %d rows to %d representatives (ratio %.1f, replay scale %.6f)\n",
+		len(rows), len(comp), float64(len(rows))/float64(len(comp)), trace.RateScale(comp))
+	return nil
+}
+
+// runReplayFile replays one trace file and returns its stats.
+func runReplayFile(path string, cfg trace.ReplayConfig) (*trace.ReplayStats, error) {
+	src, closer, err := trace.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer closer.Close()
+	return trace.Replay(src, cfg)
+}
+
+func printReplay(st *trace.ReplayStats) {
+	fmt.Printf("replayed %d rows (weight %.0f) over %.1fs virtual\n",
+		st.Rows, st.TotalWeight, float64(st.DurationUS)/1e6)
+	for i := range st.Classes {
+		c := &st.Classes[i]
+		if c.Arrivals == 0 {
+			continue
+		}
+		fmt.Printf("  %-14s arrivals %9.0f  completed %9.0f  failed %6.0f  mean resp %8.4fs\n",
+			c.Class, c.Arrivals, c.Completed, c.Failed, c.MeanResp())
+	}
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	cores, mem, iobw, seed := engineFlags(fs)
+	scale := fs.Float64("scale", 0, "arrival time scale (0 = auto: rate-preserving for weighted traces, 1 otherwise)")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return errors.New("replay: want exactly one trace file")
+	}
+	cfg := trace.ReplayConfig{
+		Engine:    engine.Config{Cores: *cores, MemoryMB: *mem, IOMBps: *iobw},
+		Seed:      *seed,
+		TimeScale: *scale,
+	}
+	if cfg.TimeScale <= 0 {
+		s, err := autoScale(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		cfg.TimeScale = s
+	}
+	st, err := runReplayFile(fs.Arg(0), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("time scale %.6f\n", cfg.TimeScale)
+	printReplay(st)
+	return nil
+}
+
+// autoScale picks the rate-preserving replay scale for path: RateScale for a
+// weighted (compressed) trace, 1 for a plain recording.
+func autoScale(path string) (float64, error) {
+	src, closer, err := trace.OpenFile(path)
+	if err != nil {
+		return 0, err
+	}
+	rows, err := trace.ReadAll(src)
+	closer.Close()
+	if err != nil {
+		return 0, err
+	}
+	return trace.RateScale(rows), nil
+}
+
+func cmdDivergence(args []string) error {
+	fs := flag.NewFlagSet("divergence", flag.ExitOnError)
+	cores, mem, iobw, seed := engineFlags(fs)
+	bound := fs.Float64("bound", 0.3, "fail when the worst divergence exceeds this (0 disables the gate)")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return errors.New("divergence: want FULL COMPRESSED")
+	}
+	base := trace.ReplayConfig{
+		Engine: engine.Config{Cores: *cores, MemoryMB: *mem, IOMBps: *iobw},
+		Seed:   *seed,
+	}
+	fullCfg := base
+	fullCfg.TimeScale = 1
+	full, err := runReplayFile(fs.Arg(0), fullCfg)
+	if err != nil {
+		return err
+	}
+	compScale, err := autoScale(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	compCfg := base
+	compCfg.TimeScale = compScale
+	comp, err := runReplayFile(fs.Arg(1), compCfg)
+	if err != nil {
+		return err
+	}
+	div := trace.Diverge(full, comp)
+	for _, cd := range div.PerClass {
+		fmt.Printf("  %-14s rateTV %.4f  costTV %.4f\n", cd.Class, cd.RateTV, cd.CostTV)
+	}
+	fmt.Printf("divergence max %.4f (rate %.4f, cost %.4f)\n", div.Max, div.RateTV, div.CostTV)
+	if *bound > 0 && div.Max > *bound {
+		return fmt.Errorf("divergence %.4f exceeds bound %.2f", div.Max, *bound)
+	}
+	return nil
+}
+
+// loopReader serves its payload forever so the decode benchmark never pays
+// reader reconstruction on the measured path.
+type loopReader struct {
+	data []byte
+	pos  int
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	if l.pos == len(l.data) {
+		l.pos = 0
+	}
+	n := copy(p, l.data[l.pos:])
+	l.pos += n
+	return n, nil
+}
+
+// benchReport is the machine-readable bench result; scripts/bench_trace.sh
+// writes it to BENCH_trace.json.
+type benchReport struct {
+	Benchmark  string `json:"benchmark"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Decode     struct {
+		Rows         int64   `json:"rows"`
+		NsPerRow     float64 `json:"ns_per_row"`
+		RowsPerSec   float64 `json:"rows_per_sec"`
+		AllocsPerRow float64 `json:"allocs_per_row"`
+	} `json:"decode"`
+	WhatIf struct {
+		Rows         int     `json:"rows"`
+		Reps         int     `json:"representatives"`
+		Ratio        float64 `json:"ratio"`
+		FullMs       float64 `json:"full_ms"`
+		CompressedMs float64 `json:"compressed_ms"`
+		Speedup      float64 `json:"speedup"`
+		Divergence   float64 `json:"divergence"`
+		RateTV       float64 `json:"rate_tv"`
+		CostTV       float64 `json:"cost_tv"`
+		Bound        float64 `json:"bound"`
+	} `json:"whatif"`
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	rows := fs.Int64("rows", 2_000_000, "rows to stream-decode")
+	whatifRows := fs.Int("whatif-rows", 8000, "rows in the what-if replay comparison")
+	ratio := fs.Float64("ratio", 16, "compression ratio for the what-if comparison")
+	bound := fs.Float64("bound", 0.3, "divergence bound the what-if replay must stay within")
+	minSpeedup := fs.Float64("min-speedup", 10, "minimum compressed-replay speedup over the full replay")
+	maxNs := fs.Float64("max-ns", 1000, "maximum ns/row for streaming decode (1000 = 1M rows/sec)")
+	cores, mem, iobw, seed := engineFlags(fs)
+	fs.Parse(args)
+
+	var rep benchReport
+	rep.Benchmark = "trace streaming decode + divergence-bounded what-if replay"
+	rep.NumCPU = runtime.NumCPU()
+	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	// --- streaming decode: a framed binary trace served in a loop. ---
+	h, synth := trace.Synth(1, 4096)
+	hdr, err := trace.AppendHeader(nil, h)
+	if err != nil {
+		return err
+	}
+	var framed []byte
+	for i := range synth {
+		at := len(framed)
+		framed = append(framed, 0, 0, 0, 0)
+		framed, err = trace.AppendRow(framed, &synth[i])
+		if err != nil {
+			return err
+		}
+		n := len(framed) - at - 4
+		framed[at] = byte(n)
+		framed[at+1] = byte(n >> 8)
+		framed[at+2] = byte(n >> 16)
+		framed[at+3] = byte(n >> 24)
+	}
+	r, err := trace.NewReader(io.MultiReader(bytes.NewReader(hdr), &loopReader{data: framed}))
+	if err != nil {
+		return err
+	}
+	var row trace.Row
+	// Warm the reader buffer and the row scratch, then pin the zero-alloc
+	// contract the same way the unit test does.
+	for i := 0; i < 8192; i++ {
+		if err := r.Next(&row); err != nil {
+			return err
+		}
+	}
+	rep.Decode.AllocsPerRow = testing.AllocsPerRun(4096, func() {
+		if err := r.Next(&row); err != nil {
+			panic(err)
+		}
+	})
+	start := time.Now()
+	for i := int64(0); i < *rows; i++ {
+		if err := r.Next(&row); err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+	rep.Decode.Rows = *rows
+	rep.Decode.NsPerRow = float64(elapsed.Nanoseconds()) / float64(*rows)
+	rep.Decode.RowsPerSec = float64(*rows) / elapsed.Seconds()
+
+	// --- what-if: full replay vs compressed replay at the rate scale. ---
+	// Each replay is timed best-of-5: the replays are deterministic, so
+	// repeat runs differ only by scheduler and GC noise, and the minimum is
+	// the honest cost.
+	wh, wrows := trace.Synth(9, *whatifRows)
+	cfg := trace.ReplayConfig{
+		Engine: engine.Config{Cores: *cores, MemoryMB: *mem, IOMBps: *iobw},
+		Seed:   *seed, TimeScale: 1,
+	}
+	timed := func(src *trace.SliceSource, c trace.ReplayConfig) (*trace.ReplayStats, time.Duration, error) {
+		var best time.Duration
+		var st *trace.ReplayStats
+		for i := 0; i < 5; i++ {
+			src.Reset()
+			t0 := time.Now()
+			s, err := trace.Replay(src, c)
+			if err != nil {
+				return nil, 0, err
+			}
+			if d := time.Since(t0); i == 0 || d < best {
+				best = d
+			}
+			st = s
+		}
+		return st, best, nil
+	}
+	full, fullDur, err := timed(&trace.SliceSource{H: wh, Rows: wrows}, cfg)
+	if err != nil {
+		return err
+	}
+	comp := trace.Compress(wh, wrows, trace.CompressConfig{Ratio: *ratio, Strata: 6, Seed: 1})
+	ccfg := cfg
+	ccfg.TimeScale = trace.RateScale(comp)
+	cs, compDur, err := timed(&trace.SliceSource{H: wh, Rows: comp}, ccfg)
+	if err != nil {
+		return err
+	}
+	div := trace.Diverge(full, cs)
+	rep.WhatIf.Rows = *whatifRows
+	rep.WhatIf.Reps = len(comp)
+	rep.WhatIf.Ratio = float64(*whatifRows) / float64(len(comp))
+	rep.WhatIf.FullMs = float64(fullDur.Microseconds()) / 1000
+	rep.WhatIf.CompressedMs = float64(compDur.Microseconds()) / 1000
+	rep.WhatIf.Speedup = fullDur.Seconds() / compDur.Seconds()
+	rep.WhatIf.Divergence = div.Max
+	rep.WhatIf.RateTV = div.RateTV
+	rep.WhatIf.CostTV = div.CostTV
+	rep.WhatIf.Bound = *bound
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&rep); err != nil {
+		return err
+	}
+
+	// Gates: loud failure, not quiet drift.
+	if rep.Decode.AllocsPerRow != 0 {
+		return fmt.Errorf("streaming decode allocates %.2f allocs/row, want 0", rep.Decode.AllocsPerRow)
+	}
+	if rep.Decode.NsPerRow > *maxNs {
+		return fmt.Errorf("streaming decode %.0f ns/row exceeds %.0f (under %d rows/sec)",
+			rep.Decode.NsPerRow, *maxNs, int64(1e9 / *maxNs))
+	}
+	if rep.WhatIf.Speedup < *minSpeedup {
+		return fmt.Errorf("what-if speedup %.1fx below %.1fx", rep.WhatIf.Speedup, *minSpeedup)
+	}
+	if *bound > 0 && div.Max > *bound {
+		return fmt.Errorf("what-if divergence %.4f exceeds bound %.2f", div.Max, *bound)
+	}
+	return nil
+}

@@ -179,15 +179,25 @@ func (t *kdTree) build(m *KNN, subset []int32) int32 {
 	return id
 }
 
-// predict runs the pruned search: descend to the near side first, visit the
-// far side only if the splitting plane is strictly closer than the current
-// bound (ties must descend — an equal-distance sample with a smaller index
-// can still displace the worst neighbour).
+// predict runs the pruned search and averages the selected values.
 //
 //dbwlm:hotpath
 func (t *kdTree) predict(m *KNN, features []float64) float64 {
 	var b kbest
 	b.init(min(m.k, len(m.samples)))
+	t.search(m, features, &b)
+	return b.mean(m.samples)
+}
+
+// search runs the pruned k-best search: descend to the near side first, visit
+// the far side only if the splitting plane is strictly closer than the
+// current bound (ties must descend — an equal-distance sample with a smaller
+// index can still displace the worst neighbour). The caller initializes b;
+// on return it holds the k nearest sample indices under the (distance,
+// sample-index) total order.
+//
+//dbwlm:hotpath
+func (t *kdTree) search(m *KNN, features []float64, b *kbest) {
 	// Explicit traversal stack: {node, deferred far child, plane distance}.
 	type frame struct {
 		node int32
@@ -228,5 +238,4 @@ func (t *kdTree) predict(m *KNN, features []float64) float64 {
 		push(far, pd*pd)
 		push(near, -1)
 	}
-	return b.mean(m.samples)
 }

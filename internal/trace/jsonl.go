@@ -1,0 +1,286 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSONL trace encoding: one JSON object per line, a header object first.
+// This is the interchange format — greppable, diffable, and trivially
+// produced by external systems — so it allocates freely; the binary twin is
+// the performance path. The two encodings carry identical information and
+// convert losslessly in both directions.
+
+// jsonlFormat is the format tag carried by the header line.
+const jsonlFormat = "dbwlm-trace"
+
+// headerJSON is the first line of a JSONL trace.
+type headerJSON struct {
+	Format     string   `json:"format"`
+	Version    int      `json:"version"`
+	DurationUS int64    `json:"duration_us"`
+	Classes    []string `json:"classes"`
+}
+
+// lockJSON is one lock acquisition.
+type lockJSON struct {
+	Key        int64   `json:"key"`
+	AtProgress float64 `json:"at,omitempty"`
+	Exclusive  bool    `json:"x,omitempty"`
+}
+
+// rowJSON is one trace row as a JSON line. Zero-valued fields are omitted so
+// common rows stay short.
+type rowJSON struct {
+	ID       int64   `json:"id"`
+	ArriveUS int64   `json:"arrive_us"`
+	Class    uint16  `json:"class"`
+	Weight   float64 `json:"weight,omitempty"`
+	Read     bool    `json:"read,omitempty"`
+	Priority uint8   `json:"priority,omitempty"`
+
+	SQL  string `json:"sql,omitempty"`
+	FPHi uint64 `json:"fp_hi,omitempty"`
+	FPLo uint64 `json:"fp_lo,omitempty"`
+
+	EstCPUSeconds float64 `json:"est_cpu,omitempty"`
+	EstIOMB       float64 `json:"est_io,omitempty"`
+	EstMemMB      float64 `json:"est_mem,omitempty"`
+	EstRows       float64 `json:"est_rows,omitempty"`
+	EstTimerons   float64 `json:"est_timerons,omitempty"`
+
+	CPUWork         float64 `json:"cpu,omitempty"`
+	IOWork          float64 `json:"io,omitempty"`
+	MemMB           float64 `json:"mem,omitempty"`
+	Parallelism     float64 `json:"par,omitempty"`
+	Rows            int64   `json:"rows,omitempty"`
+	StateMB         float64 `json:"state,omitempty"`
+	CheckpointEvery float64 `json:"ckpt,omitempty"`
+
+	SLOKind   uint8   `json:"slo_kind,omitempty"`
+	SLOTarget float64 `json:"slo_target,omitempty"`
+	SLOPct    float64 `json:"slo_pct,omitempty"`
+
+	Locks []lockJSON `json:"locks,omitempty"`
+}
+
+func rowToJSON(row *Row) rowJSON {
+	j := rowJSON{
+		ID:              row.ID,
+		ArriveUS:        row.ArriveUS,
+		Class:           row.Class,
+		Weight:          row.Weight,
+		Read:            row.Flags&FlagRead != 0,
+		Priority:        row.Priority,
+		SQL:             string(row.SQL),
+		FPHi:            row.FPHi,
+		FPLo:            row.FPLo,
+		EstCPUSeconds:   row.EstCPUSeconds,
+		EstIOMB:         row.EstIOMB,
+		EstMemMB:        row.EstMemMB,
+		EstRows:         row.EstRows,
+		EstTimerons:     row.EstTimerons,
+		CPUWork:         row.CPUWork,
+		IOWork:          row.IOWork,
+		MemMB:           row.MemMB,
+		Parallelism:     row.Parallelism,
+		Rows:            row.Rows,
+		StateMB:         row.StateMB,
+		CheckpointEvery: row.CheckpointEvery,
+		SLOKind:         row.SLOKind,
+		SLOTarget:       row.SLOTarget,
+		SLOPct:          row.SLOPct,
+	}
+	if j.Weight == 1 {
+		j.Weight = 0 // the default; omitted on the wire
+	}
+	for i := range row.Locks {
+		l := &row.Locks[i]
+		j.Locks = append(j.Locks, lockJSON{Key: l.Key, AtProgress: l.AtProgress, Exclusive: l.Exclusive})
+	}
+	return j
+}
+
+func (j *rowJSON) toRow(row *Row) error {
+	if len(j.SQL) > MaxSQLLen {
+		return fmt.Errorf("trace: SQL of %d bytes exceeds %d", len(j.SQL), MaxSQLLen)
+	}
+	if len(j.Locks) > MaxLocks {
+		return fmt.Errorf("trace: %d locks exceeds %d", len(j.Locks), MaxLocks)
+	}
+	*row = Row{
+		ID:              j.ID,
+		ArriveUS:        j.ArriveUS,
+		Class:           j.Class,
+		Weight:          j.Weight,
+		Priority:        j.Priority,
+		FPHi:            j.FPHi,
+		FPLo:            j.FPLo,
+		EstCPUSeconds:   j.EstCPUSeconds,
+		EstIOMB:         j.EstIOMB,
+		EstMemMB:        j.EstMemMB,
+		EstRows:         j.EstRows,
+		EstTimerons:     j.EstTimerons,
+		CPUWork:         j.CPUWork,
+		IOWork:          j.IOWork,
+		MemMB:           j.MemMB,
+		Parallelism:     j.Parallelism,
+		Rows:            j.Rows,
+		StateMB:         j.StateMB,
+		CheckpointEvery: j.CheckpointEvery,
+		SLOKind:         j.SLOKind,
+		SLOTarget:       j.SLOTarget,
+		SLOPct:          j.SLOPct,
+	}
+	if j.Weight == 0 {
+		row.Weight = 1
+	}
+	if j.Read {
+		row.Flags |= FlagRead
+	}
+	if j.SQL != "" {
+		row.SQL = []byte(j.SQL)
+	}
+	for i := range j.Locks {
+		l := &j.Locks[i]
+		row.Locks = append(row.Locks, Lock{Key: l.Key, AtProgress: l.AtProgress, Exclusive: l.Exclusive})
+	}
+	return nil
+}
+
+// JSONLWriter streams rows as JSON lines. Flush must be called after the
+// last row.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	err error
+}
+
+// NewJSONLWriter writes the header line for h and returns a row writer.
+func NewJSONLWriter(w io.Writer, h Header) (*JSONLWriter, error) {
+	if h.Version == 0 {
+		h.Version = Version
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("trace: cannot encode version %d (format version is %d)", h.Version, Version)
+	}
+	if len(h.Classes) > MaxClasses {
+		return nil, fmt.Errorf("trace: %d classes exceeds %d", len(h.Classes), MaxClasses)
+	}
+	jw := &JSONLWriter{bw: bufio.NewWriter(w)}
+	line, err := json.Marshal(headerJSON{Format: jsonlFormat, Version: h.Version, DurationUS: h.DurationUS, Classes: h.Classes})
+	if err != nil {
+		return nil, err
+	}
+	jw.bw.Write(line)
+	jw.bw.WriteByte('\n')
+	return jw, nil
+}
+
+// WriteRow appends one row line. Rows with non-finite floats are rejected
+// (JSON cannot carry them); the binary format can.
+func (w *JSONLWriter) WriteRow(row *Row) error {
+	if w.err != nil {
+		return w.err
+	}
+	j := rowToJSON(row)
+	line, err := json.Marshal(&j)
+	if err != nil {
+		w.err = err
+		return err
+	}
+	w.bw.Write(line)
+	w.bw.WriteByte('\n')
+	return nil
+}
+
+// Flush pushes buffered bytes to the underlying writer.
+func (w *JSONLWriter) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.bw.Flush()
+}
+
+// jsonlMaxLine bounds one JSONL line (a row with maximal SQL still fits).
+const jsonlMaxLine = MaxSQLLen * 2
+
+// JSONLReader streams rows out of a JSONL trace. It implements Source.
+type JSONLReader struct {
+	sc   *bufio.Scanner
+	h    Header
+	line int
+}
+
+// NewJSONLReader decodes the header line and returns a streaming row reader.
+func NewJSONLReader(src io.Reader) (*JSONLReader, error) {
+	sc := bufio.NewScanner(src)
+	sc.Buffer(make([]byte, 64*1024), jsonlMaxLine)
+	r := &JSONLReader{sc: sc}
+	data, err := r.nextLine()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: empty JSONL trace")
+		}
+		return nil, err
+	}
+	var h headerJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("trace: JSONL header line %d: %w", r.line, err)
+	}
+	if h.Format != jsonlFormat {
+		return nil, fmt.Errorf("trace: JSONL header format %q, want %q", h.Format, jsonlFormat)
+	}
+	if h.Version != Version {
+		return nil, fmt.Errorf("trace: unsupported version %d (want %d)", h.Version, Version)
+	}
+	if len(h.Classes) > MaxClasses {
+		return nil, fmt.Errorf("trace: %d classes exceeds %d", len(h.Classes), MaxClasses)
+	}
+	for _, c := range h.Classes {
+		if len(c) > MaxClassName {
+			return nil, fmt.Errorf("trace: class name of %d bytes exceeds %d", len(c), MaxClassName)
+		}
+	}
+	r.h = Header{Version: h.Version, DurationUS: h.DurationUS, Classes: h.Classes}
+	return r, nil
+}
+
+// nextLine returns the next non-blank line, io.EOF at end of input.
+func (r *JSONLReader) nextLine() ([]byte, error) {
+	for r.sc.Scan() {
+		r.line++
+		data := bytes.TrimSpace(r.sc.Bytes())
+		if len(data) > 0 {
+			return data, nil
+		}
+	}
+	if err := r.sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: JSONL line %d: %w", r.line+1, err)
+	}
+	return nil, io.EOF
+}
+
+// Header implements Source.
+func (r *JSONLReader) Header() Header { return r.h }
+
+// Next implements Source.
+func (r *JSONLReader) Next(row *Row) error {
+	data, err := r.nextLine()
+	if err != nil {
+		return err
+	}
+	var j rowJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return fmt.Errorf("trace: JSONL line %d: %w", r.line, err)
+	}
+	row.SQL = nil
+	row.Locks = nil
+	if err := j.toRow(row); err != nil {
+		return fmt.Errorf("trace: JSONL line %d: %w", r.line, err)
+	}
+	return nil
+}

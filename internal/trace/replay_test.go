@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+
+	"dbwlm/internal/engine"
+)
+
+// replayCfg is the shared engine sizing for the divergence tests: a mid-size
+// box under real but not pathological load from the synthetic mix.
+func replayCfg(scale float64) ReplayConfig {
+	return ReplayConfig{
+		Engine:    engine.Config{Cores: 8, MemoryMB: 16384, IOMBps: 800},
+		Seed:      42,
+		TimeScale: scale,
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	h, rows := Synth(5, 4000)
+	src := &SliceSource{H: h, Rows: rows}
+	a, err := Replay(src, replayCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.Reset()
+	b, err := Replay(src, replayCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two replays of the same trace differ")
+	}
+	if a.Rows != 4000 || a.TotalWeight != 4000 {
+		t.Fatalf("replay saw %d rows weight %v", a.Rows, a.TotalWeight)
+	}
+	var done float64
+	for i := range a.Classes {
+		done += a.Classes[i].Completed + a.Classes[i].Failed
+	}
+	if done < 3990 {
+		t.Fatalf("only %v of 4000 queries finished within the drain window", done)
+	}
+}
+
+// TestCompressedReplayDivergence is the core contract: compressing a trace
+// and replaying it at the rate-preserving time scale must reproduce the full
+// replay's per-class arrival shape and response-time histogram within the
+// bound the bench gate enforces.
+func TestCompressedReplayDivergence(t *testing.T) {
+	const bound = 0.30
+	h, rows := Synth(9, 8000)
+	full, err := Replay(&SliceSource{H: h, Rows: rows}, replayCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	comp := Compress(h, rows, CompressConfig{Ratio: 16, Strata: 6, Seed: 1})
+	if ratio := TotalWeight(comp) / float64(len(comp)); ratio < 10 {
+		t.Fatalf("compression ratio %.1f, want >= 10 for the what-if speedup", ratio)
+	}
+	// Rate-preserving scale: the compressed trace offers the engine the same
+	// arrivals/sec as the original, in proportionally less virtual time.
+	scale := RateScale(comp)
+	cs, err := Replay(&SliceSource{H: h, Rows: comp}, replayCfg(scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.TotalWeight != full.TotalWeight {
+		t.Fatalf("weight not conserved through replay: %v vs %v", cs.TotalWeight, full.TotalWeight)
+	}
+
+	div := Diverge(full, cs)
+	for _, cd := range div.PerClass {
+		t.Logf("class %-8s rateTV=%.3f costTV=%.3f", cd.Class, cd.RateTV, cd.CostTV)
+	}
+	if div.Max > bound {
+		t.Fatalf("divergence %.3f exceeds bound %.2f", div.Max, bound)
+	}
+	if div.Max == 0 {
+		t.Fatal("zero divergence from a 16x-compressed replay is implausible; metric is broken")
+	}
+}
+
+func TestReplayRejectsUnsortedRows(t *testing.T) {
+	h := Header{Version: Version, DurationUS: 1000, Classes: []string{"a"}}
+	rows := []Row{
+		{ID: 1, ArriveUS: 500, Weight: 1},
+		{ID: 2, ArriveUS: 100, Weight: 1},
+	}
+	if _, err := Replay(&SliceSource{H: h, Rows: rows}, replayCfg(1)); err == nil {
+		t.Fatal("unsorted trace replayed without error")
+	}
+}

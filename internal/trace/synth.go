@@ -1,0 +1,66 @@
+package trace
+
+import "dbwlm/internal/sim"
+
+// Synth builds a deterministic synthetic trace of the consolidation mix the
+// paper's introduction runs: a high-rate OLTP class of short transactions, a
+// BI class of heavy parallel scans, and a small ad-hoc class with occasional
+// monster queries. The mix is sized to hold an 8-core / 16 GB / 800 MBps
+// engine around 60% utilization — loaded enough that contention shapes
+// response times, not so loaded that queues grow without bound. Benchmarks
+// and the divergence tests share this generator so their numbers describe
+// the same workload.
+func Synth(seed uint64, n int) (Header, []Row) {
+	rng := sim.NewRNG(seed)
+	classes := []string{"oltp", "bi", "adhoc"}
+	rows := make([]Row, 0, n)
+	var at float64 // microseconds
+	for i := 0; i < n; i++ {
+		at += rng.ExpFloat64(100) * 1e6 // ~100 arrivals/sec overall
+		row := Row{ID: int64(i + 1), ArriveUS: int64(at), Weight: 1}
+		switch {
+		case rng.Bool(0.96):
+			row.Class = 0
+			row.Flags = FlagRead
+			if rng.Bool(0.4) {
+				row.Flags = 0 // write txn
+				row.Locks = []Lock{{Key: int64(rng.Zipf(500, 1.2)), AtProgress: 0.1, Exclusive: true}}
+			}
+			row.CPUWork = 0.004 + 0.016*rng.Float64()
+			row.IOWork = 0.5 + 2*rng.Float64()
+			row.MemMB = 16
+			row.Parallelism = 1
+			row.Rows = int64(1 + rng.Intn(50))
+		case rng.Bool(0.5):
+			row.Class = 1
+			row.Flags = FlagRead
+			row.CPUWork = 0.5 + 1.0*rng.Float64()
+			row.IOWork = 50 + 150*rng.Float64()
+			row.MemMB = 256 + 256*rng.Float64()
+			row.Parallelism = 4
+			row.Rows = int64(1000 + rng.Intn(100000))
+		default:
+			row.Class = 2
+			row.Flags = FlagRead
+			row.CPUWork = 0.05 + 0.3*rng.Float64()
+			row.IOWork = 5 + 40*rng.Float64()
+			row.MemMB = 64
+			row.Parallelism = 2
+			row.Rows = int64(100 + rng.Intn(5000))
+			if rng.Bool(0.1) { // monster
+				row.CPUWork *= 20
+				row.IOWork *= 10
+				row.MemMB = 1024
+			}
+		}
+		noise := rng.UnbiasedLogNormal(0.3)
+		row.EstCPUSeconds = row.CPUWork * noise
+		row.EstIOMB = row.IOWork * noise
+		row.EstMemMB = row.MemMB
+		row.EstRows = float64(row.Rows) * noise
+		row.EstTimerons = row.EstCPUSeconds*1000 + row.EstIOMB*10
+		rows = append(rows, row)
+	}
+	h := Header{Version: Version, DurationUS: int64(at) + 1, Classes: classes}
+	return h, rows
+}

@@ -1,0 +1,39 @@
+package workload
+
+import "dbwlm/internal/sim"
+
+// Record mode: any generator can be wrapped so that every request it submits
+// is also handed to a tap — the hook the trace recorder uses to capture a
+// synthetic scenario into a replayable trace. The wrapper is transparent:
+// the generator sees the same simulator, horizon, and submission order, so a
+// recorded run is bit-identical to an unrecorded one.
+
+// RecordGen wraps a generator, teeing every submitted request to Tap before
+// forwarding it downstream.
+type RecordGen struct {
+	Gen Generator
+	Tap SubmitFunc
+}
+
+// Name implements Generator.
+func (g *RecordGen) Name() string { return g.Gen.Name() }
+
+// Start implements Generator.
+func (g *RecordGen) Start(s *sim.Simulator, horizon sim.Time, submit SubmitFunc) {
+	tap := g.Tap
+	g.Gen.Start(s, horizon, func(r *Request) {
+		if tap != nil {
+			tap(r)
+		}
+		submit(r)
+	})
+}
+
+// Record wraps every generator in gens with the same tap.
+func Record(gens []Generator, tap SubmitFunc) []Generator {
+	out := make([]Generator, len(gens))
+	for i, g := range gens {
+		out[i] = &RecordGen{Gen: g, Tap: tap}
+	}
+	return out
+}

@@ -19,6 +19,15 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+NUM_CPU=$(nproc 2>/dev/null || echo 1)
+# On a 1-CPU host the recorder-overhead deltas share the core with the GC
+# and the rest of the system. BENCH_SMP=require turns that caveat into a
+# loud failure for CI hosts that are supposed to be SMP.
+if [ "${BENCH_SMP:-}" = "require" ] && [ "$NUM_CPU" -lt 2 ]; then
+	echo "bench_obs: BENCH_SMP=require but this host has $NUM_CPU CPU" >&2
+	exit 1
+fi
+
 OUT=$(go test -run '^$' \
 	-bench 'BenchmarkLiveAdmit$|BenchmarkLiveAdmitRecorded$|BenchmarkPredictAdmit$|BenchmarkPredictAdmitRecorded$' \
 	-benchmem -benchtime 200000x -count 3 ./internal/rt/)

@@ -16,6 +16,15 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+NUM_CPU=$(nproc 2>/dev/null || echo 1)
+# On a 1-CPU host the ns/op numbers share the core with the GC and the rest
+# of the system. BENCH_SMP=require turns that caveat into a loud failure for
+# CI hosts that are supposed to be SMP.
+if [ "${BENCH_SMP:-}" = "require" ] && [ "$NUM_CPU" -lt 2 ]; then
+	echo "bench_predict: BENCH_SMP=require but this host has $NUM_CPU CPU" >&2
+	exit 1
+fi
+
 RT_OUT=$(go test -run '^$' -bench 'BenchmarkPredictAdmit$' \
 	-benchmem -benchtime 200000x ./internal/rt/)
 CACHE_OUT=$(go test -run '^$' -bench 'BenchmarkPlanCache(Hit|Miss)$|BenchmarkPlanUncached$' \

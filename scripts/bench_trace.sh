@@ -1,0 +1,34 @@
+#!/bin/sh
+# bench_trace.sh — record trace streaming-decode and what-if replay
+# performance into BENCH_trace.json.
+#
+# The measurement itself lives in `wlmtrace bench` (cmd/wlmtrace), which
+# emits the JSON report and enforces the gates in one place:
+#   - streaming binary decode must be allocation-free (AllocsPerRun == 0)
+#     and sustain >= 1M rows/sec (<= 1000 ns/row) over 2M rows;
+#   - a divergence-bounded compressed replay must be >= 10x faster than
+#     replaying the full trace while its per-class arrival-rate and
+#     response-histogram divergence stays within 0.3 total variation.
+# wlmtrace bench exits nonzero on any gate violation, so a regression fails
+# this script (and the build) loudly after the JSON — with the numbers that
+# show why — has been written. num_cpu/gomaxprocs are stamped inside the
+# report. Run via `make bench-trace`.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+NUM_CPU=$(nproc 2>/dev/null || echo 1)
+# The decode and replay loops are single-threaded, but wall times taken on a
+# 1-CPU host share the core with the GC and the rest of the system.
+# BENCH_SMP=require turns that caveat into a loud failure for CI hosts that
+# are supposed to be SMP.
+if [ "${BENCH_SMP:-}" = "require" ] && [ "$NUM_CPU" -lt 2 ]; then
+	echo "bench_trace: BENCH_SMP=require but this host has $NUM_CPU CPU;" \
+		"wall-clock decode and replay timings would be contended" >&2
+	exit 1
+fi
+
+go run ./cmd/wlmtrace bench >BENCH_trace.json
+
+echo "bench_trace: wrote BENCH_trace.json"
+cat BENCH_trace.json
