@@ -15,7 +15,7 @@ race:
 	$(GO) test -race ./internal/experiments/... ./internal/rt/... ./cmd/wlmd/... \
 		./internal/admission/... ./internal/sqlmini/... ./internal/obsv/... \
 		./internal/rthttp/... ./internal/metrics/... ./internal/wire/... \
-		./cmd/wlmload/...
+		./cmd/wlmload/... ./internal/trace/... ./internal/learn/...
 
 # lint is the static-analysis gate: gofmt, go vet, and wlmlint — the suite
 # that machine-checks hotpath allocation-freedom, atomic field discipline,
@@ -58,10 +58,13 @@ bench-obs:
 bench-wire:
 	./scripts/bench_wire.sh
 
-# bench-trace records trace streaming-decode throughput and the compressed
-# what-if replay comparison into BENCH_trace.json. Fails if the binary decode
-# allocates or falls under 1M rows/sec, if the compressed replay is under 10x
-# faster than the full replay, or if its divergence exceeds the bound.
+# bench-trace records trace streaming-decode throughput, the compressed
+# what-if replay comparison, compression throughput across a GOMAXPROCS
+# matrix, and the pooled what-if fan-out into BENCH_trace.json. Fails if the
+# binary decode allocates or falls under 1M rows/sec, if the compressed
+# replay is under 10x faster than the full replay, if its divergence exceeds
+# the bound, if compression falls under the rows/sec floor at any proc
+# count, or if pooled replays allocate more than the fraction of fresh ones.
 bench-trace:
 	./scripts/bench_trace.sh
 

@@ -6,23 +6,29 @@
 //	wlmtrace info FILE
 //	wlmtrace convert IN OUT
 //	wlmtrace synth [-rows N] [-seed S] OUT
-//	wlmtrace compress [-ratio 16] [-strata 6] [-seed 0] IN OUT
+//	wlmtrace compress [-ratio 16] [-strata 6] [-seed 0] [-workers 0] IN OUT
 //	wlmtrace replay [-cores 8] [-mem 16384] [-io 800] [-seed 42] [-scale 0] FILE
 //	wlmtrace divergence [-bound 0.3] FULL COMPRESSED
 //	wlmtrace bench [-rows 2000000] [-whatif-rows 8000] [-bound 0.3] [-min-speedup 10]
+//	               [-compress-rows 20000] [-min-compress-rows 20000]
+//	               [-fanout-jobs 16] [-max-pooled-alloc-frac 0.7]
 //
 // Encodings are sniffed on read (binary magic vs JSONL) and picked by
 // extension on write (.jsonl/.json → JSONL, anything else → binary), so
 // convert is just a read of IN and a write of OUT.
 //
 // replay drives the trace straight into a fresh deterministic sim/engine
-// pair and reports per-class arrivals, completions, and response times.
-// divergence replays both traces — the compressed one at its rate-preserving
-// time scale — and reports the per-class arrival-rate and response-histogram
+// pair and reports per-class arrivals, completions, and response times;
+// compress and replay report wall time and rows/sec. divergence replays both
+// traces concurrently — the compressed one at its rate-preserving time scale
+// — and reports the per-class arrival-rate and response-histogram
 // total-variation distances; with -bound > 0 it exits nonzero when the worst
 // distance exceeds the bound. bench measures streaming decode throughput
-// (gate: zero allocs/row, >= 1M rows/sec) and the compressed what-if speedup
-// (gate: >= -min-speedup at divergence <= -bound), emitting a JSON report.
+// (gate: zero allocs/row, >= 1M rows/sec), the compressed what-if speedup
+// (gate: >= -min-speedup at divergence <= -bound), compression throughput
+// across a GOMAXPROCS matrix (gate: >= -min-compress-rows rows/sec at every
+// proc count), and the pooled what-if fan-out (gate: pooled replays allocate
+// <= -max-pooled-alloc-frac of fresh ones), emitting a JSON report.
 package main
 
 import (
@@ -34,6 +40,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"testing"
 	"time"
 
@@ -213,6 +220,7 @@ func cmdCompress(args []string) error {
 	strata := fs.Int("strata", 6, "time strata clustering is confined to")
 	iters := fs.Int("iters", 0, "k-means iteration cap (0 = library default)")
 	seed := fs.Uint64("seed", 0, "clustering seed")
+	workers := fs.Int("workers", 0, "clustering worker cap (0 = GOMAXPROCS, 1 = sequential)")
 	fs.Parse(args)
 	if fs.NArg() != 2 {
 		return errors.New("compress: want IN OUT")
@@ -227,14 +235,22 @@ func cmdCompress(args []string) error {
 		return err
 	}
 	h := src.Header()
+	t0 := time.Now()
 	comp := trace.Compress(h, rows, trace.CompressConfig{
-		Ratio: *ratio, Strata: *strata, Iters: *iters, Seed: *seed,
+		Ratio: *ratio, Strata: *strata, Iters: *iters, Seed: *seed, MaxWorkers: *workers,
 	})
+	elapsed := time.Since(t0)
 	if err := trace.WriteFile(fs.Arg(1), h, comp); err != nil {
 		return err
 	}
 	fmt.Printf("compressed %d rows to %d representatives (ratio %.1f, replay scale %.6f)\n",
 		len(rows), len(comp), float64(len(rows))/float64(len(comp)), trace.RateScale(comp))
+	effWorkers := *workers
+	if procs := runtime.GOMAXPROCS(0); effWorkers <= 0 || effWorkers > procs {
+		effWorkers = procs
+	}
+	fmt.Printf("compression took %.1fms (%.0f rows/sec, %d workers)\n",
+		elapsed.Seconds()*1000, float64(len(rows))/elapsed.Seconds(), effWorkers)
 	return nil
 }
 
@@ -281,12 +297,16 @@ func cmdReplay(args []string) error {
 		}
 		cfg.TimeScale = s
 	}
+	t0 := time.Now()
 	st, err := runReplayFile(fs.Arg(0), cfg)
 	if err != nil {
 		return err
 	}
+	elapsed := time.Since(t0)
 	fmt.Printf("time scale %.6f\n", cfg.TimeScale)
 	printReplay(st)
+	fmt.Printf("replay took %.1fms (%.0f rows/sec)\n",
+		elapsed.Seconds()*1000, float64(st.Rows)/elapsed.Seconds())
 	return nil
 }
 
@@ -319,25 +339,43 @@ func cmdDivergence(args []string) error {
 	}
 	fullCfg := base
 	fullCfg.TimeScale = 1
-	full, err := runReplayFile(fs.Arg(0), fullCfg)
-	if err != nil {
-		return err
-	}
 	compScale, err := autoScale(fs.Arg(1))
 	if err != nil {
 		return err
 	}
 	compCfg := base
 	compCfg.TimeScale = compScale
-	comp, err := runReplayFile(fs.Arg(1), compCfg)
+
+	// Both replays are independent deterministic runs, so they fan out
+	// through the pooled what-if API and finish in the wall time of the
+	// slower one.
+	fullSrc, fullCloser, err := trace.OpenFile(fs.Arg(0))
 	if err != nil {
 		return err
 	}
+	defer fullCloser.Close()
+	compSrc, compCloser, err := trace.OpenFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	defer compCloser.Close()
+	t0 := time.Now()
+	stats, err := trace.ReplayMany([]trace.ReplayJob{
+		{Src: fullSrc, Cfg: fullCfg},
+		{Src: compSrc, Cfg: compCfg},
+	}, 0)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(t0)
+	full, comp := stats[0], stats[1]
 	div := trace.Diverge(full, comp)
 	for _, cd := range div.PerClass {
 		fmt.Printf("  %-14s rateTV %.4f  costTV %.4f\n", cd.Class, cd.RateTV, cd.CostTV)
 	}
 	fmt.Printf("divergence max %.4f (rate %.4f, cost %.4f)\n", div.Max, div.RateTV, div.CostTV)
+	fmt.Printf("replayed both traces concurrently in %.1fms (%.0f rows/sec)\n",
+		elapsed.Seconds()*1000, float64(full.Rows+comp.Rows)/elapsed.Seconds())
 	if *bound > 0 && div.Max > *bound {
 		return fmt.Errorf("divergence %.4f exceeds bound %.2f", div.Max, *bound)
 	}
@@ -384,7 +422,36 @@ type benchReport struct {
 		CostTV       float64 `json:"cost_tv"`
 		Bound        float64 `json:"bound"`
 	} `json:"whatif"`
+	Compress struct {
+		Rows          int        `json:"rows"`
+		Reps          int        `json:"representatives"`
+		SequentialMs  float64    `json:"sequential_ms"`
+		SeqRowsPerSec float64    `json:"sequential_rows_per_sec"`
+		Matrix        []procRate `json:"matrix"`
+		MinRowsPerSec float64    `json:"min_rows_per_sec"`
+	} `json:"compress"`
+	Fanout struct {
+		Jobs                  int        `json:"jobs"`
+		Matrix                []procRate `json:"matrix"`
+		FreshAllocsPerReplay  float64    `json:"fresh_allocs_per_replay"`
+		PooledAllocsPerReplay float64    `json:"pooled_allocs_per_replay"`
+		PooledAllocFrac       float64    `json:"pooled_alloc_frac"`
+		MaxPooledAllocFrac    float64    `json:"max_pooled_alloc_frac"`
+	} `json:"fanout"`
 }
+
+// procRate is one GOMAXPROCS matrix row: wall time and throughput (rows/sec
+// for compression, jobs/sec for the what-if fan-out) at that proc count.
+type procRate struct {
+	Procs  int     `json:"gomaxprocs"`
+	Ms     float64 `json:"ms"`
+	PerSec float64 `json:"per_sec"`
+}
+
+// benchProcs is the GOMAXPROCS matrix the parallel sections sweep. Counts
+// above NumCPU are measured anyway: on small hosts they demonstrate that
+// oversubscription does not hurt, on big ones they show the scaling curve.
+var benchProcs = []int{1, 2, 4, 8}
 
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
@@ -394,11 +461,17 @@ func cmdBench(args []string) error {
 	bound := fs.Float64("bound", 0.3, "divergence bound the what-if replay must stay within")
 	minSpeedup := fs.Float64("min-speedup", 10, "minimum compressed-replay speedup over the full replay")
 	maxNs := fs.Float64("max-ns", 1000, "maximum ns/row for streaming decode (1000 = 1M rows/sec)")
+	compressRows := fs.Int("compress-rows", 20000, "rows in the compression-throughput measurement")
+	minCompressRows := fs.Float64("min-compress-rows", 20000,
+		"minimum compression rows/sec at every proc count (floor: 3x the pre-flat sequential kernel)")
+	fanoutJobs := fs.Int("fanout-jobs", 16, "what-if jobs in the fan-out measurement")
+	maxPooledFrac := fs.Float64("max-pooled-alloc-frac", 0.7,
+		"maximum pooled-replay allocations as a fraction of fresh-replay allocations")
 	cores, mem, iobw, seed := engineFlags(fs)
 	fs.Parse(args)
 
 	var rep benchReport
-	rep.Benchmark = "trace streaming decode + divergence-bounded what-if replay"
+	rep.Benchmark = "trace streaming decode + divergence-bounded what-if replay + parallel compression + pooled fan-out"
 	rep.NumCPU = runtime.NumCPU()
 	rep.GOMAXPROCS = runtime.GOMAXPROCS(0)
 
@@ -499,6 +572,117 @@ func cmdBench(args []string) error {
 	rep.WhatIf.CostTV = div.CostTV
 	rep.WhatIf.Bound = *bound
 
+	// --- compression throughput: sequential baseline, then the GOMAXPROCS
+	// matrix with the per-group fan-out enabled. Each point is best-of-3:
+	// compression is deterministic, so repeats differ only by noise. ---
+	bh, brows := trace.Synth(5, *compressRows)
+	timedCompress := func(maxWorkers int) (int, time.Duration) {
+		var best time.Duration
+		var reps int
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			comp := trace.Compress(bh, brows, trace.CompressConfig{
+				Ratio: *ratio, Strata: 6, Seed: 1, MaxWorkers: maxWorkers,
+			})
+			if d := time.Since(t0); i == 0 || d < best {
+				best = d
+			}
+			reps = len(comp)
+		}
+		return reps, best
+	}
+	prevProcs := runtime.GOMAXPROCS(0)
+	reps, seqDur := timedCompress(1)
+	rep.Compress.Rows = *compressRows
+	rep.Compress.Reps = reps
+	rep.Compress.SequentialMs = float64(seqDur.Microseconds()) / 1000
+	rep.Compress.SeqRowsPerSec = float64(*compressRows) / seqDur.Seconds()
+	rep.Compress.MinRowsPerSec = *minCompressRows
+	for _, p := range benchProcs {
+		runtime.GOMAXPROCS(p)
+		_, d := timedCompress(0)
+		rep.Compress.Matrix = append(rep.Compress.Matrix, procRate{
+			Procs: p, Ms: float64(d.Microseconds()) / 1000,
+			PerSec: float64(*compressRows) / d.Seconds(),
+		})
+	}
+	runtime.GOMAXPROCS(prevProcs)
+
+	// --- what-if fan-out: N compressed replays under varying seeds through
+	// the pooled ReplayMany, swept over the GOMAXPROCS matrix, plus the
+	// pooled-vs-fresh allocation comparison that justifies the pool. ---
+	jobs := make([]trace.ReplayJob, *fanoutJobs)
+	for i := range jobs {
+		jcfg := ccfg
+		jcfg.Seed = uint64(i + 1)
+		jobs[i] = trace.ReplayJob{Src: &trace.SliceSource{H: wh, Rows: comp}, Cfg: jcfg}
+	}
+	resetJobs := func() {
+		for i := range jobs {
+			jobs[i].Src.(*trace.SliceSource).Reset()
+		}
+	}
+	rep.Fanout.Jobs = *fanoutJobs
+	for _, p := range benchProcs {
+		runtime.GOMAXPROCS(p)
+		var best time.Duration
+		for i := 0; i < 3; i++ {
+			resetJobs()
+			t0 := time.Now()
+			if _, err := trace.ReplayMany(jobs, 0); err != nil {
+				runtime.GOMAXPROCS(prevProcs)
+				return err
+			}
+			if d := time.Since(t0); i == 0 || d < best {
+				best = d
+			}
+		}
+		rep.Fanout.Matrix = append(rep.Fanout.Matrix, procRate{
+			Procs: p, Ms: float64(best.Microseconds()) / 1000,
+			PerSec: float64(*fanoutJobs) / best.Seconds(),
+		})
+	}
+	runtime.GOMAXPROCS(prevProcs)
+
+	// Allocation comparison, single-worker so the measurement sees only
+	// replay work, with the GC parked so Mallocs deltas are clean. The
+	// pool is warm from the matrix above; fresh runs rebuild sim/engine
+	// per job the way independent Replay calls do.
+	mallocsPer := func(f func() error) (float64, error) {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		if err := f(); err != nil {
+			return 0, err
+		}
+		runtime.ReadMemStats(&m1)
+		return float64(m1.Mallocs-m0.Mallocs) / float64(len(jobs)), nil
+	}
+	gcPrev := debug.SetGCPercent(-1)
+	resetJobs()
+	pooled, err := mallocsPer(func() error { _, err := trace.ReplayMany(jobs, 1); return err })
+	if err == nil {
+		resetJobs()
+		var fresh float64
+		fresh, err = mallocsPer(func() error {
+			for i := range jobs {
+				if _, err := trace.Replay(jobs[i].Src, jobs[i].Cfg); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		rep.Fanout.FreshAllocsPerReplay = fresh
+		rep.Fanout.PooledAllocsPerReplay = pooled
+		if fresh > 0 {
+			rep.Fanout.PooledAllocFrac = pooled / fresh
+		}
+		rep.Fanout.MaxPooledAllocFrac = *maxPooledFrac
+	}
+	debug.SetGCPercent(gcPrev)
+	if err != nil {
+		return err
+	}
+
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(&rep); err != nil {
@@ -518,6 +702,21 @@ func cmdBench(args []string) error {
 	}
 	if *bound > 0 && div.Max > *bound {
 		return fmt.Errorf("what-if divergence %.4f exceeds bound %.2f", div.Max, *bound)
+	}
+	if rep.Compress.SeqRowsPerSec < *minCompressRows {
+		return fmt.Errorf("sequential compression %.0f rows/sec below %.0f",
+			rep.Compress.SeqRowsPerSec, *minCompressRows)
+	}
+	for _, m := range rep.Compress.Matrix {
+		if m.PerSec < *minCompressRows {
+			return fmt.Errorf("compression at GOMAXPROCS=%d ran %.0f rows/sec, below %.0f",
+				m.Procs, m.PerSec, *minCompressRows)
+		}
+	}
+	if rep.Fanout.PooledAllocFrac > *maxPooledFrac {
+		return fmt.Errorf("pooled replay allocates %.2fx of fresh (%.0f vs %.0f per replay), want <= %.2fx",
+			rep.Fanout.PooledAllocFrac, rep.Fanout.PooledAllocsPerReplay,
+			rep.Fanout.FreshAllocsPerReplay, *maxPooledFrac)
 	}
 	return nil
 }

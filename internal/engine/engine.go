@@ -133,6 +133,15 @@ type Engine struct {
 	killed    int64
 	deadlocks int64
 
+	// freeQ recycles Query objects across Reset cycles: a pooled engine
+	// replaying one trace after another (trace.ReplayMany) reuses the
+	// previous run's Query structs instead of allocating one per Submit.
+	// retired parks terminal queries evicted from the live slice until the
+	// next Reset moves them onto freeQ — they cannot go straight to freeQ
+	// because outstanding *Query handles stay readable until Reset.
+	freeQ   []*Query
+	retired []*Query
+
 	// OnQuantum, when non-nil, is invoked at the end of every quantum with
 	// the engine; controllers that need per-quantum observation (PI
 	// throttling, indicator collection) hook here. Setting it disables tick
@@ -161,6 +170,47 @@ func New(s *sim.Simulator, cfg Config) *Engine {
 	return e
 }
 
+// Reset returns the engine to the state of a fresh New over the same
+// simulator with a new configuration, retaining every internal buffer: the
+// query map's buckets, the live slice, the lock table, the per-quantum
+// scratch, and — through a free list — the Query objects themselves, so a
+// pooled engine reused across many runs (trace.ReplayMany) allocates almost
+// nothing after its first. Resident queries are discarded without firing
+// their onFinish callbacks and every outstanding *Query handle is
+// invalidated (its object may be recycled by a later Submit). Callers must
+// Reset the shared simulator first so no stale engine event can fire. A
+// reset engine's next run is bit-for-bit identical to a run on a freshly
+// constructed one, which TestResetMatchesFresh pins.
+func (e *Engine) Reset(cfg Config) {
+	e.cfg = cfg.withDefaults()
+	recycle := func(q *Query) {
+		if len(e.freeQ) < 4096 { // bound the pool; beyond it the GC takes over
+			held := q.held[:0]
+			*q = Query{held: held}
+			e.freeQ = append(e.freeQ, q)
+		}
+	}
+	for i, q := range e.live {
+		recycle(q)
+		e.live[i] = nil
+	}
+	e.live = e.live[:0]
+	for i, q := range e.retired {
+		recycle(q)
+		e.retired[i] = nil
+	}
+	e.retired = e.retired[:0]
+	clear(e.queries)
+	e.locks.reset()
+	e.nextID = 0
+	e.ticking = false
+	e.quantumN = 0
+	e.lastCPUUsed, e.lastIOUsed = 0, 0
+	e.completed, e.killed, e.deadlocks = 0, 0, 0
+	e.OnQuantum = nil
+	e.OnQuantumCoarse = false
+}
+
 // Sim returns the engine's simulator.
 func (e *Engine) Sim() *sim.Simulator { return e.sim }
 
@@ -187,13 +237,23 @@ func (e *Engine) Submit(spec QuerySpec, weight float64, onFinish func(*Query, Ou
 		weight = 1
 	}
 	e.nextID++
-	q := &Query{
+	var q *Query
+	if n := len(e.freeQ); n > 0 {
+		q = e.freeQ[n-1]
+		e.freeQ[n-1] = nil
+		e.freeQ = e.freeQ[:n-1]
+	} else {
+		q = &Query{}
+	}
+	held := q.held[:0]
+	*q = Query{
 		ID:         e.nextID,
 		Spec:       spec,
 		Weight:     weight,
 		state:      StateRunning,
 		submitAt:   e.sim.Now(),
 		waitingKey: -1,
+		held:       held,
 		onFinish:   onFinish,
 	}
 	e.queries[q.ID] = q
@@ -211,6 +271,8 @@ func (e *Engine) alive() []*Query {
 		for _, q := range e.live {
 			if !q.state.Terminal() {
 				kept = append(kept, q)
+			} else if len(e.retired) < 4096 { // park for recycling at Reset
+				e.retired = append(e.retired, q)
 			}
 		}
 		for i := len(kept); i < len(e.live); i++ {

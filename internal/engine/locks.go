@@ -37,6 +37,15 @@ func newLockTable() *lockTable {
 	}
 }
 
+// reset drops every grant and waiter, keeping the maps' buckets and the
+// deadlock-sweep scratch so a pooled engine's lock table is reusable without
+// reallocation.
+func (lt *lockTable) reset() {
+	clear(lt.holders)
+	clear(lt.exclusive)
+	clear(lt.waiters)
+}
+
 // tryAcquire attempts to grant key to q. It returns true on success; on
 // failure q is appended to the key's waiter queue.
 func (lt *lockTable) tryAcquire(q *Query, key int, exclusive bool) bool {

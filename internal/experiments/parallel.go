@@ -13,11 +13,23 @@ import (
 // Jobs are handed out by an atomic counter, so scheduling order is
 // arbitrary — determinism comes from writing results[i] in place.
 func RunIndexed[T any](n int, job func(i int) T) []T {
+	return RunIndexedBounded(n, 0, job)
+}
+
+// RunIndexedBounded is RunIndexed with an explicit worker cap: maxWorkers 0
+// (or anything above GOMAXPROCS) falls back to the GOMAXPROCS bound, and 1
+// degenerates to a plain sequential loop. Callers use the cap to pin a
+// sequential baseline (bench matrices, byte-identity tests) without touching
+// the process-wide GOMAXPROCS.
+func RunIndexedBounded[T any](n, maxWorkers int, job func(i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
 	out := make([]T, n)
 	workers := runtime.GOMAXPROCS(0)
+	if maxWorkers > 0 && maxWorkers < workers {
+		workers = maxWorkers
+	}
 	if workers > n {
 		workers = n
 	}

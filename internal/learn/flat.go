@@ -1,0 +1,261 @@
+package learn
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"dbwlm/internal/sim"
+)
+
+// Flat-buffer clustering kernels. The slice-of-slices KMeans/Normalize API
+// dates from when clustering ran once per experiment table; the workload
+// compressor runs it once per (class × stratum) group on every compression,
+// so the kernels below trade pointer-chasing [][]float64 for a single
+// []float64 with a row stride: one allocation per buffer, centroids and
+// points contiguous in cache, and the two O(n·k·d) steps — k-means++ seeding
+// and Lloyd assignment — parallelized over contiguous point ranges when the
+// group is large enough to pay for the goroutines.
+//
+// Every result is bit-for-bit identical to the nested API's (which is now a
+// thin wrapper over these kernels) and to the pre-flat implementation, which
+// the reference test in flat_test.go pins:
+//
+//   - the RNG consumption sequence is unchanged (same Intn/Float64 draws in
+//     the same order);
+//   - k-means++ seeding maintains the per-point min distance incrementally
+//     (O(n·k·d) instead of the old rescan's O(n·k²·d)); min over the same
+//     set of exact distances is order-independent, so d2 is unchanged;
+//   - the parallel steps only write per-point results (d2[i], assign[i]) —
+//     every floating-point *sum* (seeding totals, centroid recomputation,
+//     inertia) stays sequential in ascending point order.
+
+// FlatKMeansResult is a clustering outcome over a flat point buffer.
+type FlatKMeansResult struct {
+	// Assignments maps each input point to its cluster index.
+	Assignments []int
+	// Centroids holds the final cluster centres, row-major with the input's
+	// stride: centre c is Centroids[c*Dims : (c+1)*Dims].
+	Centroids []float64
+	// Dims is the row stride of Centroids.
+	Dims int
+	// Inertia is the total squared distance of points to their centroids.
+	Inertia float64
+}
+
+// K reports the number of centroids.
+func (r *FlatKMeansResult) K() int {
+	if r.Dims <= 0 {
+		return 0
+	}
+	return len(r.Centroids) / r.Dims
+}
+
+// Centroid returns centre c as a subslice of the flat buffer.
+func (r *FlatKMeansResult) Centroid(c int) []float64 {
+	return r.Centroids[c*r.Dims : (c+1)*r.Dims]
+}
+
+// parMinWork is the approximate flop count below which a parallelizable step
+// runs sequentially: under it, goroutine handoff costs more than it saves.
+const parMinWork = 1 << 15
+
+// parallelFor splits [0, n) into contiguous chunks across GOMAXPROCS-bounded
+// workers and runs fn on each. work is the caller's estimate of total flops;
+// small jobs and single-proc hosts run inline. fn must only write state owned
+// by its own index range — determinism comes from the range partition, not
+// from scheduling order.
+func parallelFor(n, work int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || work < parMinWork {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// sqDistFlat is the squared Euclidean distance between two stride-length
+// rows, accumulated in ascending dimension order (the same order as the
+// nested API's kernel, so results are bit-identical).
+//
+//dbwlm:hotpath
+func sqDistFlat(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// nearestCentroidFlat returns the index and squared distance of the centroid
+// nearest to p, ties resolved to the lowest centroid index (the `<` scan
+// order every k-means path in this package shares).
+//
+//dbwlm:hotpath
+func nearestCentroidFlat(p, cents []float64, dims int) (int, float64) {
+	best, bestD := 0, math.Inf(1)
+	for c := 0; c*dims < len(cents); c++ {
+		if d := sqDistFlat(p, cents[c*dims:c*dims+dims]); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best, bestD
+}
+
+// KMeansFlat clusters n points of dims dimensions stored row-major in data
+// (len(data) == n*dims) with Lloyd's algorithm over k-means++ seeding, the
+// flat-buffer twin of KMeans. Inputs are used as-is (normalize first when
+// dimensions have different scales) and are not modified.
+func KMeansFlat(data []float64, n, dims, k, iters int, rng *sim.RNG) FlatKMeansResult {
+	if n == 0 || k <= 0 || dims <= 0 {
+		return FlatKMeansResult{Dims: dims}
+	}
+	if k > n {
+		k = n
+	}
+	if iters <= 0 {
+		iters = 25
+	}
+	row := func(i int) []float64 { return data[i*dims : (i+1)*dims] }
+
+	// k-means++ seeding with incremental min-distance maintenance: d2[i] is
+	// the exact squared distance from point i to its nearest centroid so
+	// far, updated (in parallel for large groups) as each centre lands.
+	cents := make([]float64, 0, k*dims)
+	cents = append(cents, row(rng.Intn(n))...)
+	d2 := make([]float64, n)
+	last := cents[0:dims]
+	parallelFor(n, n*dims, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			d2[i] = sqDistFlat(row(i), last)
+		}
+	})
+	for len(cents) < k*dims {
+		var total float64
+		for _, d := range d2 {
+			total += d
+		}
+		if total == 0 {
+			// All points identical to existing centroids: duplicate one.
+			// The duplicate cannot lower any point's min distance, so d2
+			// needs no update.
+			cents = append(cents, row(rng.Intn(n))...)
+			continue
+		}
+		u := rng.Float64() * total
+		var acc float64
+		pick := n - 1
+		for i, d := range d2 {
+			acc += d
+			if u <= acc {
+				pick = i
+				break
+			}
+		}
+		cents = append(cents, row(pick)...)
+		last = cents[len(cents)-dims:]
+		parallelFor(n, n*dims, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if d := sqDistFlat(row(i), last); d < d2[i] {
+					d2[i] = d
+				}
+			}
+		})
+	}
+
+	// Lloyd iterations: parallel assignment (pure per-point argmin over the
+	// shared read-only centroid buffer), sequential centroid recomputation
+	// (float sums must keep their order for bit-stable results).
+	assign := make([]int, n)
+	counts := make([]int, k)
+	sums := make([]float64, k*dims)
+	for iter := 0; iter < iters; iter++ {
+		var changed atomic.Bool
+		parallelFor(n, n*k*dims, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				best, _ := nearestCentroidFlat(row(i), cents, dims)
+				if assign[i] != best {
+					assign[i] = best
+					changed.Store(true)
+				}
+			}
+		})
+		clear(counts)
+		clear(sums)
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			for d, v := range row(i) {
+				sums[c*dims+d] += v
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue // keep the old centroid for empty clusters
+			}
+			for d := 0; d < dims; d++ {
+				cents[c*dims+d] = sums[c*dims+d] / float64(counts[c])
+			}
+		}
+		if !changed.Load() {
+			break
+		}
+	}
+
+	var inertia float64
+	for i := 0; i < n; i++ {
+		inertia += sqDistFlat(row(i), cents[assign[i]*dims:assign[i]*dims+dims])
+	}
+	return FlatKMeansResult{Assignments: assign, Centroids: cents, Dims: dims, Inertia: inertia}
+}
+
+// NormalizeFlat min-max scales each dimension of n stride-dims rows into
+// [0, 1], returning a new flat buffer (the input is untouched). Dimensions
+// with zero spread map to 0, matching Normalize.
+func NormalizeFlat(data []float64, n, dims int) []float64 {
+	if n == 0 || dims <= 0 {
+		return nil
+	}
+	lo := append([]float64(nil), data[:dims]...)
+	hi := append([]float64(nil), data[:dims]...)
+	for i := 0; i < n; i++ {
+		for d := 0; d < dims; d++ {
+			v := data[i*dims+d]
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	out := make([]float64, n*dims)
+	parallelFor(n, n*dims, func(plo, phi int) {
+		for i := plo; i < phi; i++ {
+			for d := 0; d < dims; d++ {
+				if span := hi[d] - lo[d]; span > 0 {
+					out[i*dims+d] = (data[i*dims+d] - lo[d]) / span
+				}
+			}
+		}
+	})
+	return out
+}

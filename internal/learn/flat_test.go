@@ -1,0 +1,362 @@
+package learn
+
+import (
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dbwlm/internal/sim"
+)
+
+// kmeansReference is a verbatim copy of the slice-of-slices KMeans
+// implementation this package shipped before the flat kernels (per-round
+// k-means++ distance rescans, sequential assignment). It exists only as the
+// bit-equivalence oracle: the flat kernel must reproduce its assignments,
+// centroids, and inertia exactly, including the RNG consumption sequence.
+func kmeansReference(points [][]float64, k, iters int, rng *sim.RNG) KMeansResult {
+	n := len(points)
+	if n == 0 || k <= 0 {
+		return KMeansResult{}
+	}
+	if k > n {
+		k = n
+	}
+	if iters <= 0 {
+		iters = 25
+	}
+	dims := len(points[0])
+
+	// k-means++ seeding.
+	centroids := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	centroids = append(centroids, append([]float64(nil), points[first]...))
+	d2 := make([]float64, n)
+	for len(centroids) < k {
+		var total float64
+		for i, p := range points {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(p, c); d < best {
+					best = d
+				}
+			}
+			d2[i] = best
+			total += best
+		}
+		if total == 0 {
+			// All points identical to existing centroids: duplicate one.
+			centroids = append(centroids, append([]float64(nil), points[rng.Intn(n)]...))
+			continue
+		}
+		u := rng.Float64() * total
+		var acc float64
+		pick := n - 1
+		for i, d := range d2 {
+			acc += d
+			if u <= acc {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	}
+
+	assign := make([]int, n)
+	for iter := 0; iter < iters; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c := range centroids {
+				if d := sqDist(p, centroids[c]); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		sums := make([][]float64, k)
+		for c := range sums {
+			sums[c] = make([]float64, dims)
+		}
+		for i, p := range points {
+			c := assign[i]
+			counts[c]++
+			for d, v := range p {
+				sums[c][d] += v
+			}
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue // keep the old centroid for empty clusters
+			}
+			for d := range centroids[c] {
+				centroids[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	var inertia float64
+	for i, p := range points {
+		inertia += sqDist(p, centroids[assign[i]])
+	}
+	return KMeansResult{Assignments: assign, Centroids: centroids, Inertia: inertia}
+}
+
+// normalizeReference is the pre-flat Normalize, kept verbatim as the oracle.
+func normalizeReference(points [][]float64) [][]float64 {
+	if len(points) == 0 {
+		return nil
+	}
+	dims := len(points[0])
+	lo := append([]float64(nil), points[0]...)
+	hi := append([]float64(nil), points[0]...)
+	for _, p := range points {
+		for d, v := range p {
+			if v < lo[d] {
+				lo[d] = v
+			}
+			if v > hi[d] {
+				hi[d] = v
+			}
+		}
+	}
+	out := make([][]float64, len(points))
+	for i, p := range points {
+		q := make([]float64, dims)
+		for d, v := range p {
+			span := hi[d] - lo[d]
+			if span > 0 {
+				q[d] = (v - lo[d]) / span
+			}
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// genPoints builds a deterministic point cloud with c planted cluster
+// centres, optionally including exact duplicates and a constant dimension.
+func genPoints(n, dims, c int, seed uint64, dupEvery int, constDim bool) [][]float64 {
+	rng := sim.NewRNG(seed)
+	centres := make([][]float64, c)
+	for i := range centres {
+		centres[i] = make([]float64, dims)
+		for d := range centres[i] {
+			centres[i][d] = rng.Float64() * 100
+		}
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dims)
+		base := centres[rng.Intn(c)]
+		for d := range p {
+			p[d] = base[d] + rng.Float64()*3
+		}
+		if constDim && dims > 1 {
+			p[dims-1] = 7.5
+		}
+		if dupEvery > 0 && i > 0 && i%dupEvery == 0 {
+			copy(p, pts[i-1])
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+func requireSameResult(t *testing.T, label string, got, want KMeansResult) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Assignments, want.Assignments) {
+		t.Fatalf("%s: assignments differ\n got: %v\nwant: %v", label, got.Assignments, want.Assignments)
+	}
+	if len(got.Centroids) != len(want.Centroids) {
+		t.Fatalf("%s: centroid counts differ: %d vs %d", label, len(got.Centroids), len(want.Centroids))
+	}
+	for c := range got.Centroids {
+		for d := range got.Centroids[c] {
+			// Bit-level comparison: Float64bits distinguishes -0 from 0 and
+			// catches any reassociated summation.
+			if math.Float64bits(got.Centroids[c][d]) != math.Float64bits(want.Centroids[c][d]) {
+				t.Fatalf("%s: centroid[%d][%d] = %v, want %v (bit mismatch)",
+					label, c, d, got.Centroids[c][d], want.Centroids[c][d])
+			}
+		}
+	}
+	if math.Float64bits(got.Inertia) != math.Float64bits(want.Inertia) {
+		t.Fatalf("%s: inertia %v, want %v (bit mismatch)", label, got.Inertia, want.Inertia)
+	}
+}
+
+// TestKMeansFlatMatchesReference pins the tentpole equivalence claim: the
+// flat kernel — incremental seeding, parallel assignment and all — is
+// bit-for-bit the old implementation, across cluster shapes, duplicate-heavy
+// inputs, k ≥ n, and multi-worker GOMAXPROCS.
+func TestKMeansFlatMatchesReference(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4) // force real fan-out even on 1-CPU hosts
+	defer runtime.GOMAXPROCS(prev)
+
+	cases := []struct {
+		name     string
+		n, dims  int
+		clusters int
+		k, iters int
+		dupEvery int
+		constDim bool
+	}{
+		{"small", 40, 3, 4, 4, 25, 0, false},
+		{"k-exceeds-n", 5, 4, 2, 9, 10, 0, false},
+		{"k-equals-n", 8, 2, 3, 8, 25, 0, false},
+		{"duplicate-heavy", 120, 5, 3, 6, 25, 2, false},
+		{"constant-dim", 90, 5, 4, 5, 25, 0, true},
+		{"single-point", 1, 3, 1, 3, 25, 0, false},
+		{"one-cluster", 60, 4, 1, 1, 25, 0, false},
+		{"large-parallel", 3000, 5, 6, 12, 30, 7, false},
+		{"zero-iters-default", 50, 3, 3, 5, 0, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pts := genPoints(tc.n, tc.dims, tc.clusters, uint64(tc.n)*31+uint64(tc.k), tc.dupEvery, tc.constDim)
+			want := kmeansReference(pts, tc.k, tc.iters, sim.NewRNG(99))
+			got := KMeans(pts, tc.k, tc.iters, sim.NewRNG(99))
+			requireSameResult(t, "nested-vs-reference", got, want)
+
+			rngA, rngB := sim.NewRNG(99), sim.NewRNG(99)
+			flat := packRows(pts, tc.dims)
+			fr := KMeansFlat(flat, tc.n, tc.dims, tc.k, tc.iters, rngA)
+			_ = kmeansReference(pts, tc.k, tc.iters, rngB)
+			if rngA.Uint64() != rngB.Uint64() {
+				t.Fatal("flat kernel consumed a different RNG sequence than the reference")
+			}
+			if fr.K() > 0 && fr.Dims != tc.dims {
+				t.Fatalf("flat result stride %d, want %d", fr.Dims, tc.dims)
+			}
+			if !reflect.DeepEqual(fr.Assignments, want.Assignments) {
+				t.Fatalf("flat assignments differ from reference")
+			}
+		})
+	}
+}
+
+// TestKMeansParallelMatchesSequential pins parallel-vs-sequential byte
+// identity directly: the same input clustered under GOMAXPROCS(1) and
+// GOMAXPROCS(4) yields identical bits.
+func TestKMeansParallelMatchesSequential(t *testing.T) {
+	pts := genPoints(4000, 5, 5, 2024, 0, false)
+	flat := packRows(pts, 5)
+
+	prev := runtime.GOMAXPROCS(1)
+	seq := KMeansFlat(flat, 4000, 5, 10, 30, sim.NewRNG(7))
+	runtime.GOMAXPROCS(4)
+	par := KMeansFlat(flat, 4000, 5, 10, 30, sim.NewRNG(7))
+	runtime.GOMAXPROCS(prev)
+
+	if !reflect.DeepEqual(seq.Assignments, par.Assignments) {
+		t.Fatal("parallel assignments differ from sequential")
+	}
+	for i := range seq.Centroids {
+		if math.Float64bits(seq.Centroids[i]) != math.Float64bits(par.Centroids[i]) {
+			t.Fatalf("centroid buffer diverges at %d: %v vs %v", i, seq.Centroids[i], par.Centroids[i])
+		}
+	}
+	if math.Float64bits(seq.Inertia) != math.Float64bits(par.Inertia) {
+		t.Fatalf("inertia diverges: %v vs %v", seq.Inertia, par.Inertia)
+	}
+}
+
+// TestKMeansEmptyClusterKeepsCentroid plants a seeding that strands a
+// centroid with no members and checks the stranded centre survives
+// unchanged, in both APIs.
+func TestKMeansEmptyClusterKeepsCentroid(t *testing.T) {
+	// Two tight blobs far apart, k=4: at least one centroid ends up empty or
+	// duplicated onto a blob; either way every centroid must remain a finite
+	// point and the reference must agree.
+	pts := genPoints(30, 3, 2, 5, 2, false)
+	want := kmeansReference(pts, 4, 25, sim.NewRNG(3))
+	got := KMeans(pts, 4, 25, sim.NewRNG(3))
+	requireSameResult(t, "empty-cluster", got, want)
+	for c, cent := range got.Centroids {
+		for d, v := range cent {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("centroid[%d][%d] not finite: %v", c, d, v)
+			}
+		}
+	}
+}
+
+// TestKMeansDegenerateInputs covers the guard paths shared by both APIs.
+func TestKMeansDegenerateInputs(t *testing.T) {
+	if r := KMeans(nil, 3, 10, sim.NewRNG(1)); r.Assignments != nil || r.Centroids != nil || r.Inertia != 0 {
+		t.Fatalf("KMeans(nil) = %+v, want zero result", r)
+	}
+	if r := KMeans([][]float64{{1, 2}}, 0, 10, sim.NewRNG(1)); r.Assignments != nil {
+		t.Fatalf("KMeans(k=0) = %+v, want zero result", r)
+	}
+	if r := KMeansFlat(nil, 0, 3, 2, 10, sim.NewRNG(1)); r.K() != 0 {
+		t.Fatalf("KMeansFlat(n=0) K() = %d, want 0", r.K())
+	}
+	// All-identical points: seeding falls into the duplicate path every
+	// round; k still lands and inertia is exactly zero.
+	pts := make([][]float64, 6)
+	for i := range pts {
+		pts[i] = []float64{2, 4, 8}
+	}
+	want := kmeansReference(pts, 3, 25, sim.NewRNG(11))
+	got := KMeans(pts, 3, 25, sim.NewRNG(11))
+	requireSameResult(t, "identical-points", got, want)
+	if got.Inertia != 0 {
+		t.Fatalf("identical points inertia = %v, want 0", got.Inertia)
+	}
+	if len(got.Centroids) != 3 {
+		t.Fatalf("identical points produced %d centroids, want 3", len(got.Centroids))
+	}
+}
+
+// TestNormalizeFlatMatchesReference pins Normalize's wrapper equivalence,
+// including zero-variance dimensions mapping to exactly 0.
+func TestNormalizeFlatMatchesReference(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+
+	for _, tc := range []struct {
+		name string
+		pts  [][]float64
+	}{
+		{"mixed", genPoints(200, 4, 3, 9, 0, false)},
+		{"zero-variance-dim", genPoints(150, 5, 3, 9, 0, true)},
+		{"all-constant", [][]float64{{3, 3}, {3, 3}, {3, 3}}},
+		{"single-row", [][]float64{{1, 2, 3}}},
+		{"large-parallel", genPoints(20000, 5, 4, 13, 0, true)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			want := normalizeReference(tc.pts)
+			got := Normalize(tc.pts)
+			if len(got) != len(want) {
+				t.Fatalf("row counts differ: %d vs %d", len(got), len(want))
+			}
+			for i := range got {
+				for d := range got[i] {
+					if math.Float64bits(got[i][d]) != math.Float64bits(want[i][d]) {
+						t.Fatalf("row %d dim %d: %v vs %v", i, d, got[i][d], want[i][d])
+					}
+				}
+			}
+		})
+	}
+	if Normalize(nil) != nil {
+		t.Fatal("Normalize(nil) should be nil")
+	}
+	// Zero-variance dimensions map to exactly 0 bits, not just near-zero.
+	out := Normalize([][]float64{{5, 1}, {5, 2}, {5, 3}})
+	for i := range out {
+		if math.Float64bits(out[i][0]) != 0 {
+			t.Fatalf("constant dim row %d = %v, want exactly +0", i, out[i][0])
+		}
+	}
+}

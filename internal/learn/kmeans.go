@@ -1,8 +1,6 @@
 package learn
 
 import (
-	"math"
-
 	"dbwlm/internal/sim"
 )
 
@@ -21,140 +19,52 @@ type KMeansResult struct {
 // dimensions have different scales). Used by the clustering workload
 // analyzer to discover query groups in a log the way Teradata Workload
 // Analyzer's candidate-workload mining does.
+//
+// This is a thin adapter over KMeansFlat: it packs the rows into one flat
+// buffer, runs the cache-friendly kernel, and exposes the centroids as
+// subslices of the flat result. Outputs are bit-identical to the historical
+// slice-of-slices implementation (pinned by TestKMeansFlatMatchesReference).
 func KMeans(points [][]float64, k, iters int, rng *sim.RNG) KMeansResult {
 	n := len(points)
 	if n == 0 || k <= 0 {
 		return KMeansResult{}
 	}
-	if k > n {
-		k = n
-	}
-	if iters <= 0 {
-		iters = 25
-	}
 	dims := len(points[0])
-
-	// k-means++ seeding.
-	centroids := make([][]float64, 0, k)
-	first := rng.Intn(n)
-	centroids = append(centroids, append([]float64(nil), points[first]...))
-	d2 := make([]float64, n)
-	for len(centroids) < k {
-		var total float64
-		for i, p := range points {
-			best := math.Inf(1)
-			for _, c := range centroids {
-				if d := sqDist(p, c); d < best {
-					best = d
-				}
-			}
-			d2[i] = best
-			total += best
-		}
-		if total == 0 {
-			// All points identical to existing centroids: duplicate one.
-			centroids = append(centroids, append([]float64(nil), points[rng.Intn(n)]...))
-			continue
-		}
-		u := rng.Float64() * total
-		var acc float64
-		pick := n - 1
-		for i, d := range d2 {
-			acc += d
-			if u <= acc {
-				pick = i
-				break
-			}
-		}
-		centroids = append(centroids, append([]float64(nil), points[pick]...))
+	flat := packRows(points, dims)
+	km := KMeansFlat(flat, n, dims, k, iters, rng)
+	cents := make([][]float64, km.K())
+	for c := range cents {
+		cents[c] = km.Centroid(c)
 	}
-
-	assign := make([]int, n)
-	for iter := 0; iter < iters; iter++ {
-		changed := false
-		for i, p := range points {
-			best, bestD := 0, math.Inf(1)
-			for c := range centroids {
-				if d := sqDist(p, centroids[c]); d < bestD {
-					best, bestD = c, d
-				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
-		}
-		// Recompute centroids.
-		counts := make([]int, k)
-		sums := make([][]float64, k)
-		for c := range sums {
-			sums[c] = make([]float64, dims)
-		}
-		for i, p := range points {
-			c := assign[i]
-			counts[c]++
-			for d, v := range p {
-				sums[c][d] += v
-			}
-		}
-		for c := range centroids {
-			if counts[c] == 0 {
-				continue // keep the old centroid for empty clusters
-			}
-			for d := range centroids[c] {
-				centroids[c][d] = sums[c][d] / float64(counts[c])
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-
-	var inertia float64
-	for i, p := range points {
-		inertia += sqDist(p, centroids[assign[i]])
-	}
-	return KMeansResult{Assignments: assign, Centroids: centroids, Inertia: inertia}
+	return KMeansResult{Assignments: km.Assignments, Centroids: cents, Inertia: km.Inertia}
 }
 
 func sqDist(a, b []float64) float64 {
-	var s float64
-	for i := range a {
-		d := a[i] - b[i]
-		s += d * d
-	}
-	return s
+	return sqDistFlat(a, b)
 }
 
 // Normalize min-max scales each dimension of points into [0, 1] in place
-// copies (the originals are untouched) and returns the scaled set.
+// copies (the originals are untouched) and returns the scaled set. Thin
+// adapter over NormalizeFlat; rows of the result alias one flat buffer.
 func Normalize(points [][]float64) [][]float64 {
-	if len(points) == 0 {
+	n := len(points)
+	if n == 0 {
 		return nil
 	}
 	dims := len(points[0])
-	lo := append([]float64(nil), points[0]...)
-	hi := append([]float64(nil), points[0]...)
-	for _, p := range points {
-		for d, v := range p {
-			if v < lo[d] {
-				lo[d] = v
-			}
-			if v > hi[d] {
-				hi[d] = v
-			}
-		}
-	}
-	out := make([][]float64, len(points))
-	for i, p := range points {
-		q := make([]float64, dims)
-		for d, v := range p {
-			span := hi[d] - lo[d]
-			if span > 0 {
-				q[d] = (v - lo[d]) / span
-			}
-		}
-		out[i] = q
+	flat := NormalizeFlat(packRows(points, dims), n, dims)
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = flat[i*dims : (i+1)*dims]
 	}
 	return out
+}
+
+// packRows copies n slice-of-slices rows into a single row-major buffer.
+func packRows(points [][]float64, dims int) []float64 {
+	flat := make([]float64, len(points)*dims)
+	for i, p := range points {
+		copy(flat[i*dims:(i+1)*dims], p)
+	}
+	return flat
 }

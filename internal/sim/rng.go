@@ -12,6 +12,11 @@ type RNG struct {
 // NewRNG returns an RNG seeded with seed.
 func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
 
+// Reseed resets the generator to the state of a fresh NewRNG(seed). Pooled
+// consumers (reset simulators reused across replay runs) use it so reuse is
+// indistinguishable from construction.
+func (r *RNG) Reseed(seed uint64) { r.state = seed }
+
 // Fork derives an independent substream keyed by label. Two forks of the same
 // RNG with different labels produce uncorrelated sequences, and forking does
 // not perturb the parent stream.

@@ -153,6 +153,27 @@ func New(seed uint64) *Simulator {
 	return &Simulator{rng: NewRNG(seed)}
 }
 
+// Reset returns the simulator to the state of a fresh New(seed) while
+// retaining its internal capacity: the event-heap backing array and the
+// detached-event free list survive, so a pooled simulator reused across many
+// runs (trace.ReplayMany) stops allocating once warm. Pending events are
+// discarded without firing — detached ones are recycled, handles returned by
+// Schedule/At are orphaned and must not be used again. A reset run is
+// bit-for-bit identical to a run on a freshly constructed simulator.
+func (s *Simulator) Reset(seed uint64) {
+	for i, e := range s.events {
+		e.index = -1
+		s.recycle(e)
+		s.events[i] = nil
+	}
+	s.events = s.events[:0]
+	s.now = 0
+	s.seq = 0
+	s.canceledPending = 0
+	s.horizon, s.horizonSet = 0, false
+	s.rng.Reseed(seed)
+}
+
 // Now reports the current virtual time.
 func (s *Simulator) Now() Time { return s.now }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"dbwlm/internal/admission"
+	"dbwlm/internal/experiments"
 	"dbwlm/internal/learn"
 	"dbwlm/internal/sim"
 )
@@ -30,7 +31,13 @@ import (
 // the Replay/Diverge pair measures — is the response-time distribution.
 //
 // Compression is deterministic: the same (rows, seed, config) produce
-// byte-identical output, which a test pins.
+// byte-identical output regardless of MaxWorkers, which a test pins. Groups
+// are independent — each clusters with its own label-forked RNG (Fork reads
+// but never advances the parent, so the fork sequence does not depend on
+// execution order) and appends only to its own result slot — so the
+// per-group work fans out across a GOMAXPROCS-bounded pool and the results
+// are stitched back in class-major, stratum-minor order, exactly the
+// sequential iteration order.
 
 // CompressConfig parameterizes Compress.
 type CompressConfig struct {
@@ -50,6 +57,17 @@ type CompressConfig struct {
 	Iters int
 	// Seed seeds the clustering RNG.
 	Seed uint64
+	// MaxWorkers caps the per-group clustering fan-out: 0 uses the
+	// GOMAXPROCS-bounded pool, 1 forces a fully sequential run. Output is
+	// byte-identical either way.
+	MaxWorkers int
+}
+
+// compressJob is one (class, stratum) group scheduled for clustering.
+type compressJob struct {
+	members []int
+	k       int
+	rng     *sim.RNG
 }
 
 // Compress reduces rows (one whole trace, sorted by arrival) to a weighted
@@ -72,18 +90,37 @@ func Compress(h Header, rows []Row, cfg CompressConfig) []Row {
 			maxClass = int(rows[i].Class)
 		}
 	}
-	var out []Row
-	// Class-index-major, stratum-minor iteration order keeps the RNG fork
-	// sequence — and therefore the whole run — deterministic.
-	var members []int
+
+	// Single-pass bucketing: size each (class, stratum) bucket, then slice
+	// one shared index arena so the whole partition costs two passes and two
+	// allocations instead of the old classes×strata full scans. Buckets fill
+	// in ascending row order, matching the order the scans produced.
+	nGroups := (maxClass + 1) * strata
+	if nGroups <= 0 {
+		return nil
+	}
+	counts := make([]int, nGroups)
+	for i := range rows {
+		counts[int(rows[i].Class)*strata+stratumOf(rows[i].ArriveUS, h.DurationUS, strata)]++
+	}
+	arena := make([]int, len(rows))
+	buckets := make([][]int, nGroups)
+	off := 0
+	for g, c := range counts {
+		buckets[g] = arena[off : off : off+c]
+		off += c
+	}
+	for i := range rows {
+		g := int(rows[i].Class)*strata + stratumOf(rows[i].ArriveUS, h.DurationUS, strata)
+		buckets[g] = append(buckets[g], i)
+	}
+
+	// Collect non-empty groups in class-major, stratum-minor order, forking
+	// each group's RNG up front so clustering can run in any order.
+	jobs := make([]compressJob, 0, nGroups)
 	for ci := 0; ci <= maxClass; ci++ {
 		for si := 0; si < strata; si++ {
-			members = members[:0]
-			for i := range rows {
-				if int(rows[i].Class) == ci && stratumOf(rows[i].ArriveUS, h.DurationUS, strata) == si {
-					members = append(members, i)
-				}
-			}
+			members := buckets[ci*strata+si]
 			if len(members) == 0 {
 				continue
 			}
@@ -92,8 +129,21 @@ func Compress(h Header, rows []Row, cfg CompressConfig) []Row {
 				k = 1
 			}
 			label := uint64(ci)*uint64(strata+1) + uint64(si) + 1
-			out = append(out, compressGroup(rows, members, k, cfg.Iters, rng.Fork(label))...)
+			jobs = append(jobs, compressJob{members: members, k: k, rng: rng.Fork(label)})
 		}
+	}
+
+	groupReps := experiments.RunIndexedBounded(len(jobs), cfg.MaxWorkers, func(i int) []Row {
+		j := jobs[i]
+		return compressGroup(rows, j.members, j.k, cfg.Iters, j.rng)
+	})
+	var total int
+	for _, reps := range groupReps {
+		total += len(reps)
+	}
+	out := make([]Row, 0, total)
+	for _, reps := range groupReps {
+		out = append(out, reps...)
 	}
 	sort.SliceStable(out, func(a, b int) bool {
 		if out[a].ArriveUS != out[b].ArriveUS {
@@ -145,7 +195,9 @@ func RateScale(comp []Row) float64 {
 }
 
 // compressGroup clusters one (class, stratum) group down to k weighted
-// representatives (deep copies of real input rows).
+// representatives (deep copies of real input rows). It runs on the flat
+// learn kernels: one feature buffer for the whole group, normalized and
+// clustered without per-row slice headers.
 func compressGroup(rows []Row, members []int, k, iters int, rng *sim.RNG) []Row {
 	if len(members) <= k {
 		reps := make([]Row, 0, len(members))
@@ -161,29 +213,28 @@ func compressGroup(rows []Row, members []int, k, iters int, rng *sim.RNG) []Row 
 	}
 
 	// Embed in the admission feature space and normalize per dimension.
-	points := make([][]float64, len(members))
+	const dims = admission.NumFeatures
+	flat := make([]float64, len(members)*dims)
 	var fv admission.FeatureVec
 	for mi, i := range members {
 		r := &rows[i]
 		admission.FeaturesFrom(r.EstTimerons, r.EstRows, r.EstMemMB, r.EstIOMB,
 			r.Flags&FlagRead != 0, &fv)
-		p := make([]float64, admission.NumFeatures)
-		copy(p, fv[:])
-		points[mi] = p
+		copy(flat[mi*dims:(mi+1)*dims], fv[:])
 	}
-	norm := learn.Normalize(points)
-	km := learn.KMeans(norm, k, iters, rng)
+	norm := learn.NormalizeFlat(flat, len(members), dims)
+	km := learn.KMeansFlat(norm, len(members), dims, k, iters, rng)
 
 	// Snap each centroid onto the nearest real row via the k-d tree, then
 	// pour every member's weight into its cluster's representative.
 	samples := make([]learn.RegSample, len(members))
 	for mi := range members {
-		samples[mi] = learn.RegSample{Features: norm[mi], Value: float64(mi)}
+		samples[mi] = learn.RegSample{Features: norm[mi*dims : (mi+1)*dims], Value: float64(mi)}
 	}
 	knn := learn.TrainKNNIndexed(samples, 1)
-	repOf := make([]int, len(km.Centroids)) // cluster -> member index of representative
-	for j, c := range km.Centroids {
-		repOf[j] = knn.Nearest(c)
+	repOf := make([]int, km.K()) // cluster -> member index of representative
+	for j := range repOf {
+		repOf[j] = knn.Nearest(km.Centroid(j))
 	}
 	repWeight := make([]float64, len(members))
 	for mi := range members {

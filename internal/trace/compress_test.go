@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"reflect"
+	"runtime"
 	"testing"
 )
 
@@ -34,6 +35,33 @@ func TestCompressDeterministic(t *testing.T) {
 	c := Compress(h, rows, CompressConfig{Ratio: 16, Strata: 6, Seed: 12})
 	if bytes.Equal(encodeAll(t, a), encodeAll(t, c)) {
 		t.Log("note: different seeds produced identical output (legal, surprising)")
+	}
+}
+
+// TestCompressParallelMatchesSequential pins the fan-out contract: the
+// GOMAXPROCS-pooled per-group clustering produces byte-identical output to a
+// forced-sequential run, on a multi-worker scheduler.
+func TestCompressParallelMatchesSequential(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4) // force real fan-out even on 1-CPU hosts
+	defer runtime.GOMAXPROCS(prev)
+
+	h, rows := Synth(9, 9000)
+	for _, cfg := range []CompressConfig{
+		{Ratio: 16, Strata: 6, Seed: 11},
+		{Ratio: 8, Strata: 3, Seed: 42},
+		{Ratio: 64, Strata: 12, Seed: 5},
+	} {
+		seqCfg := cfg
+		seqCfg.MaxWorkers = 1
+		seq := encodeAll(t, Compress(h, rows, seqCfg))
+		for _, workers := range []int{0, 2, 3} {
+			parCfg := cfg
+			parCfg.MaxWorkers = workers
+			par := encodeAll(t, Compress(h, rows, parCfg))
+			if !bytes.Equal(seq, par) {
+				t.Fatalf("cfg %+v: MaxWorkers=%d output differs from sequential", cfg, workers)
+			}
+		}
 	}
 }
 

@@ -103,6 +103,15 @@ type ReplayStats struct {
 // Replay streams src through a fresh engine and measures it. The run is
 // fully deterministic for a given (trace, config).
 func Replay(src Source, cfg ReplayConfig) (*ReplayStats, error) {
+	s := sim.New(cfg.Seed)
+	return replayWith(src, cfg, s, engine.New(s, cfg.Engine))
+}
+
+// replayWith is Replay's body over a caller-supplied sim/engine pair. The
+// pair must be freshly constructed or freshly Reset with (cfg.Seed,
+// cfg.Engine) — ReplayMany relies on Reset-equals-fresh to reuse pooled
+// pairs across runs with bit-identical results.
+func replayWith(src Source, cfg ReplayConfig, s *sim.Simulator, eng *engine.Engine) (*ReplayStats, error) {
 	h := src.Header()
 	scale := cfg.TimeScale
 	if scale <= 0 {
@@ -132,8 +141,6 @@ func Replay(src Source, cfg ReplayConfig) (*ReplayStats, error) {
 		classAt(uint16(i))
 	}
 
-	s := sim.New(cfg.Seed)
-	eng := engine.New(s, cfg.Engine)
 	var row Row
 	var last sim.Time
 	for {

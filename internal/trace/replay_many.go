@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"dbwlm/internal/engine"
+	"dbwlm/internal/experiments"
+	"dbwlm/internal/sim"
+)
+
+// What-if fan-out: evaluate many candidate replays — the same trace under
+// different engine sizings, seeds, or time scales, or different compressed
+// traces under one sizing — concurrently. Each job is an independent
+// deterministic simulation, so the fan-out changes wall-clock time only,
+// never results. Simulator/engine pairs come from a sync.Pool and are
+// Reset between runs instead of rebuilt: the event heap, query free list,
+// lock-table buckets, and scratch buffers all carry over, so a warm pool
+// runs each what-if with a fraction of the allocations of a cold Replay
+// (the bench's fanout section gates the ratio).
+
+// ReplayJob pairs a trace source with the configuration to replay it under.
+type ReplayJob struct {
+	Src Source
+	Cfg ReplayConfig
+}
+
+// replayer is a pooled simulator/engine pair.
+type replayer struct {
+	s   *sim.Simulator
+	eng *engine.Engine
+}
+
+// replayerPool holds warm sim/engine pairs across ReplayMany calls, so
+// repeated what-if sweeps (the interactive use case: tweak a sizing, re-run)
+// reuse each other's buffers too.
+var replayerPool = sync.Pool{New: func() any {
+	s := sim.New(0)
+	return &replayer{s: s, eng: engine.New(s, engine.Config{})}
+}}
+
+// ReplayMany evaluates every job and returns the stats in job order. Jobs
+// fan out over a GOMAXPROCS-bounded pool (maxWorkers 0; pass 1 to force
+// sequential). Results are identical to calling Replay on each job — pooled
+// pairs are Reset to the job's (seed, engine config) before use, which the
+// sim and engine packages pin as bit-equivalent to fresh construction. On
+// failure the first error by job index is returned; the stats slice still
+// holds every job that succeeded.
+func ReplayMany(jobs []ReplayJob, maxWorkers int) ([]*ReplayStats, error) {
+	type res struct {
+		st  *ReplayStats
+		err error
+	}
+	results := experiments.RunIndexedBounded(len(jobs), maxWorkers, func(i int) res {
+		rp := replayerPool.Get().(*replayer)
+		rp.s.Reset(jobs[i].Cfg.Seed)
+		rp.eng.Reset(jobs[i].Cfg.Engine)
+		st, err := replayWith(jobs[i].Src, jobs[i].Cfg, rp.s, rp.eng)
+		replayerPool.Put(rp)
+		if err != nil {
+			return res{err: fmt.Errorf("trace: replay %d: %w", i, err)}
+		}
+		return res{st: st}
+	})
+	out := make([]*ReplayStats, len(jobs))
+	var firstErr error
+	for i, r := range results {
+		out[i] = r.st
+		if r.err != nil && firstErr == nil {
+			firstErr = r.err
+		}
+	}
+	return out, firstErr
+}

@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dbwlm/internal/engine"
+)
+
+// TestReplayManyMatchesIndependent pins the pooled fan-out contract: N jobs
+// through ReplayMany — warm pool, multi-worker — yield exactly the stats of
+// N independent Replay calls.
+func TestReplayManyMatchesIndependent(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4) // force real fan-out even on 1-CPU hosts
+	defer runtime.GOMAXPROCS(prev)
+
+	h, rows := Synth(7, 4000)
+	comp := Compress(h, rows, CompressConfig{Ratio: 16, Seed: 11})
+	sizings := []engine.Config{
+		{Cores: 4, MemoryMB: 4096, IOMBps: 200},
+		{Cores: 8, MemoryMB: 16384, IOMBps: 800},
+		{Cores: 16, MemoryMB: 32768, IOMBps: 1600, Quantum: 0},
+		{Cores: 2, MemoryMB: 2048, IOMBps: 100},
+	}
+	jobs := make([]ReplayJob, 0, 2*len(sizings))
+	for i, ec := range sizings {
+		jobs = append(jobs, ReplayJob{
+			Src: &SliceSource{H: h, Rows: rows},
+			Cfg: ReplayConfig{Engine: ec, Seed: uint64(i + 1)},
+		})
+		jobs = append(jobs, ReplayJob{
+			Src: &SliceSource{H: h, Rows: comp},
+			Cfg: ReplayConfig{Engine: ec, Seed: uint64(i + 1), TimeScale: RateScale(comp)},
+		})
+	}
+
+	want := make([]*ReplayStats, len(jobs))
+	for i, j := range jobs {
+		j.Src.(*SliceSource).Reset()
+		st, err := Replay(j.Src, j.Cfg)
+		if err != nil {
+			t.Fatalf("independent replay %d: %v", i, err)
+		}
+		want[i] = st
+	}
+
+	// Two rounds: the first may populate the pool from scratch, the second
+	// must reuse warm pairs — both must match the independent runs.
+	for round := 0; round < 2; round++ {
+		for i := range jobs {
+			jobs[i].Src.(*SliceSource).Reset()
+		}
+		got, err := ReplayMany(jobs, 0)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		for i := range got {
+			if !reflect.DeepEqual(got[i], want[i]) {
+				t.Fatalf("round %d: job %d stats differ from independent Replay\n got: %+v\nwant: %+v",
+					round, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestReplayManyError pins error propagation: a bad job reports a wrapped,
+// index-tagged error while good jobs still return their stats.
+func TestReplayManyError(t *testing.T) {
+	h, rows := Synth(3, 400)
+	bad := []Row{rows[10], rows[2]} // arrivals out of order
+	jobs := []ReplayJob{
+		{Src: &SliceSource{H: h, Rows: rows}, Cfg: ReplayConfig{Seed: 1}},
+		{Src: &SliceSource{H: h, Rows: bad}, Cfg: ReplayConfig{Seed: 1}},
+		{Src: &SliceSource{H: h, Rows: rows}, Cfg: ReplayConfig{Seed: 2}},
+	}
+	got, err := ReplayMany(jobs, 1)
+	if err == nil {
+		t.Fatal("ReplayMany swallowed the unsorted-trace error")
+	}
+	if want := "trace: replay 1:"; len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+		t.Fatalf("error not index-tagged: %v", err)
+	}
+	if got[0] == nil || got[2] == nil {
+		t.Fatal("good jobs did not return stats alongside the error")
+	}
+	if got[1] != nil {
+		t.Fatal("failed job returned stats")
+	}
+}

@@ -8,7 +8,13 @@
 #     and sustain >= 1M rows/sec (<= 1000 ns/row) over 2M rows;
 #   - a divergence-bounded compressed replay must be >= 10x faster than
 #     replaying the full trace while its per-class arrival-rate and
-#     response-histogram divergence stays within 0.3 total variation.
+#     response-histogram divergence stays within 0.3 total variation;
+#   - compression must sustain >= 20k rows/sec sequentially and at every
+#     point of the GOMAXPROCS 1/2/4/8 matrix (the floor is 3x the pre-flat
+#     sequential kernel, so the parallel path can never regress below the
+#     old sequential baseline);
+#   - pooled what-if replays (trace.ReplayMany) must allocate <= 0.7x of
+#     what the same jobs cost as independent fresh Replay calls.
 # wlmtrace bench exits nonzero on any gate violation, so a regression fails
 # this script (and the build) loudly after the JSON — with the numbers that
 # show why — has been written. num_cpu/gomaxprocs are stamped inside the
