@@ -15,7 +15,8 @@ race:
 	$(GO) test -race ./internal/experiments/... ./internal/rt/... ./cmd/wlmd/... \
 		./internal/admission/... ./internal/sqlmini/... ./internal/obsv/... \
 		./internal/rthttp/... ./internal/metrics/... ./internal/wire/... \
-		./cmd/wlmload/... ./internal/trace/... ./internal/learn/...
+		./cmd/wlmload/... ./internal/trace/... ./internal/learn/... \
+		./internal/slo/...
 
 # lint is the static-analysis gate: gofmt, go vet, and wlmlint — the suite
 # that machine-checks hotpath allocation-freedom, atomic field discipline,
@@ -44,10 +45,11 @@ bench-live:
 bench-predict:
 	./scripts/bench_predict.sh
 
-# bench-obs prices the flight recorder on the admission hot paths (off vs on,
-# ns/op and allocs) into BENCH_obs.json. Fails if the recorder-off path
-# allocates or regresses >5% against BENCH_predict.json, or if the enabled
-# overhead exceeds 250 ns / 1 alloc per admit+done cycle.
+# bench-obs prices the flight recorder and the SLO engine on the admission
+# hot paths (off vs on, ns/op and allocs) into BENCH_obs.json. Fails if the
+# recorder-off path allocates or regresses >5% against BENCH_predict.json,
+# if the recorder overhead exceeds 250 ns / 1 alloc per admit+done cycle, or
+# if the SLO engine adds more than 100 ns or any allocation to that cycle.
 bench-obs:
 	./scripts/bench_obs.sh
 

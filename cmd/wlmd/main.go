@@ -21,12 +21,14 @@ import (
 	"sync"
 	"time"
 
+	"dbwlm"
 	"dbwlm/internal/admission"
 	"dbwlm/internal/obsv"
 	"dbwlm/internal/policy"
 	"dbwlm/internal/rt"
 	"dbwlm/internal/rthttp"
 	"dbwlm/internal/sim"
+	"dbwlm/internal/slo"
 	"dbwlm/internal/sqlmini"
 	"dbwlm/internal/wire"
 )
@@ -43,6 +45,18 @@ func defaultClasses() []rt.ClassSpec {
 	}
 }
 
+// defaultSLOs is the built-in objective table matching defaultClasses:
+// interactive answers in 50ms, reporting in 500ms, batch in 5s, each with
+// the engine's default 0.1% miss budget. Targets reload via the policy
+// document's slos section; windows come from the -slo-fast/-slo-slow flags.
+func defaultSLOs(fast, slow time.Duration) []slo.Spec {
+	return []slo.Spec{
+		{Class: "interactive", Target: 0.050, FastWindow: fast, SlowWindow: slow},
+		{Class: "reporting", Target: 0.500, FastWindow: fast, SlowWindow: slow},
+		{Class: "batch", Target: 5, FastWindow: fast, SlowWindow: slow},
+	}
+}
+
 func main() {
 	var (
 		addr       = flag.String("addr", ":8628", "HTTP listen address")
@@ -53,6 +67,10 @@ func main() {
 		workers    = flag.Int("workers", 64, "selftest: concurrent closed-loop workers")
 		perWorker  = flag.Int("per-worker", 200, "selftest: requests per worker")
 		seed       = flag.Uint64("seed", 1, "selftest: RNG seed")
+
+		sloOn   = flag.Bool("slo", false, "enable the SLO engine: deadline accounting at Done, GET /slo, dbwlm_slo_* metrics, burn-rate MAPE symptoms")
+		sloFast = flag.Duration("slo-fast", time.Minute, "slo: fast burn-rate evaluation window")
+		sloSlow = flag.Duration("slo-slow", 10*time.Minute, "slo: slow burn-rate evaluation window")
 
 		traceCap  = flag.Int("trace", 0, "flight-recorder capacity in events (0 = off; served at /trace)")
 		traceDump = flag.Int("trace-dump", 0, "selftest: print the last N flight-recorder events after the run (implies -trace)")
@@ -68,6 +86,16 @@ func main() {
 	r, err := rt.New(defaultClasses(), rt.Options{GlobalMaxMPL: *globalMPL})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *sloOn {
+		// Attached before the startup policy so its slos section can reload
+		// the default objectives; shares the runtime clock so deadlines and
+		// windows agree with grant timestamps.
+		eng, err := slo.New(defaultSLOs(*sloFast, *sloSlow), slo.Options{Now: r.NowNanos})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.SetSLO(eng)
 	}
 	if *policyPath != "" {
 		data, err := os.ReadFile(*policyPath)
@@ -93,6 +121,9 @@ func main() {
 	if *selftest {
 		out, totals := runSelfTest(r, *workers, *perWorker, *seed)
 		fmt.Print(out)
+		if eng := r.SLO(); eng != nil {
+			fmt.Print("slo:\n" + dbwlm.SLOPanel(eng.Evaluate()))
+		}
 		if *traceDump > 0 {
 			fmt.Print(traceTail(r, *traceDump))
 		}
@@ -150,6 +181,10 @@ func main() {
 	// one is attached.
 	stopLoop := rthttp.StartMAPELoop(rthttp.NewMAPELoop(r, r.Recorder()), 250*time.Millisecond)
 	defer stopLoop()
+	if eng := r.SLO(); eng != nil {
+		log.Printf("wlmd: slo engine on (%d classes, fast %s, slow %s; GET /slo)",
+			eng.Classes(), *sloFast, *sloSlow)
+	}
 	log.Printf("wlmd: %d classes, global MPL %d, trace %d events, listening on %s",
 		r.NumClasses(), *globalMPL, *traceCap, *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv))

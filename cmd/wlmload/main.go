@@ -89,6 +89,18 @@ type counters struct {
 	errored  atomic.Int64
 }
 
+// deadlineCount tallies one class's recorded-SLO outcomes during trace
+// replay: how many admits carried a response-time objective, and how many of
+// those came back past it. The clock starts at the row's recorded due
+// instant, so daemon queueing during a backlog counts against the deadline —
+// and a rejected or errored admit counts as a miss outright (the request
+// never ran). Targets are wall-clock seconds as recorded, not scaled by
+// -speed.
+type deadlineCount struct {
+	Total  int64
+	Missed int64
+}
+
 // corpus is the built-in SQL shapes for -sql-frac traffic, written against
 // sqlmini's default star-schema catalog.
 var corpus = []string{
@@ -119,9 +131,10 @@ func main() {
 		}
 	}
 	var (
-		cnt  counters
-		mu   sync.Mutex
-		lats []latSample
+		cnt       counters
+		mu        sync.Mutex
+		lats      []latSample
+		deadlines = make(map[string]*deadlineCount)
 	)
 	issued := &atomic.Int64{}
 	start := time.Now()
@@ -132,11 +145,12 @@ func main() {
 			defer wg.Done()
 			var (
 				local []latSample
+				dl    map[string]*deadlineCount
 				err   error
 			)
 			switch {
 			case cfg.tracePath != "":
-				local, err = runTraceConn(cfg, c, traceRows, start, &cnt)
+				local, dl, err = runTraceConn(cfg, c, traceRows, start, &cnt)
 			case cfg.mode == "wire":
 				local, err = runWireConn(cfg, c, issued, &cnt)
 			case cfg.mode == "http-batch":
@@ -150,12 +164,19 @@ func main() {
 			}
 			mu.Lock()
 			lats = append(lats, local...)
+			for class, d := range dl {
+				if deadlines[class] == nil {
+					deadlines[class] = &deadlineCount{}
+				}
+				deadlines[class].Total += d.Total
+				deadlines[class].Missed += d.Missed
+			}
 			mu.Unlock()
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
-	report(cfg, elapsed, lats, &cnt)
+	report(cfg, elapsed, lats, &cnt, deadlines)
 	if cnt.errored.Load() > 0 {
 		os.Exit(1)
 	}
@@ -389,24 +410,37 @@ func runWireConn(cfg config, id int, issued *atomic.Int64, cnt *counters) ([]lat
 // queue is unbounded, so a backed-up daemon cannot throttle the offered
 // load). Done ops piggyback on later frames to keep the daemon's population
 // bounded. Trace class indexes map onto the -mix class table modulo its
-// size; rows carrying SQL are sent as admit-SQL when -sql-frac > 0.
-func runTraceConn(cfg config, id int, rows []trace.Row, start time.Time, cnt *counters) ([]latSample, error) {
+// size; rows carrying SQL are sent as admit-SQL when -sql-frac > 0. Rows
+// recorded with a response-time SLO are scored into the returned per-class
+// deadline-miss tally.
+func runTraceConn(cfg config, id int, rows []trace.Row, start time.Time, cnt *counters) ([]latSample, map[string]*deadlineCount, error) {
 	conn, err := net.Dial("tcp", cfg.addr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer conn.Close()
+	// opMeta scores one frame slot: zero deadline for done ops and
+	// deadline-free admits, else the row's recorded objective measured from
+	// its due instant. Results come back in op order, so meta[i] describes
+	// res.Results[i].
+	type opMeta struct {
+		class    string
+		due      time.Time
+		deadline float64
+	}
 	type sent struct {
-		at  time.Time
-		ops int
+		at   time.Time
+		ops  int
+		meta []opMeta
 	}
 	var (
-		fc     = wire.NewFrameConn(conn)
-		grants []grantRec
-		sendTs = make(chan sent, len(rows)+1) // never blocks: open loop
-		werr   = make(chan error, 1)
-		mu     sync.Mutex
-		lats   []latSample
+		fc        = wire.NewFrameConn(conn)
+		grants    []grantRec
+		sendTs    = make(chan sent, len(rows)+1) // never blocks: open loop
+		werr      = make(chan error, 1)
+		mu        sync.Mutex
+		lats      []latSample
+		deadlines = make(map[string]*deadlineCount)
 	)
 	deadline := int64(1) // try-don't-wait
 	if cfg.block {
@@ -430,6 +464,7 @@ func runTraceConn(cfg config, id int, rows []trace.Row, start time.Time, cnt *co
 				time.Sleep(wait)
 			}
 			ops = ops[:0]
+			var meta []opMeta
 			// Everything due now rides in one frame, up to the batch cap.
 			for p < len(mine) && len(ops) < cfg.batch {
 				r := &rows[mine[p]]
@@ -437,6 +472,7 @@ func runTraceConn(cfg config, id int, rows []trace.Row, start time.Time, cnt *co
 					break
 				}
 				m := cfg.mix[int(r.Class)%len(cfg.mix)]
+				meta = append(meta, opMeta{class: m.Name, due: dueAt(r), deadline: r.SLODeadline()})
 				cost := r.EstTimerons
 				if cost <= 0 {
 					cost = cfg.cost
@@ -450,13 +486,15 @@ func runTraceConn(cfg config, id int, rows []trace.Row, start time.Time, cnt *co
 				}
 				p++
 			}
-			// Piggyback done ops in the remaining slots.
+			// Piggyback done ops in the remaining slots (unscored: their meta
+			// slots stay zero).
 			mu.Lock()
 			for len(ops) < cfg.batch && len(grants) > 0 {
 				g := grants[len(grants)-1]
 				grants = grants[:len(grants)-1]
 				ops = append(ops, wire.Op{Code: wire.OpDone, Class: g.class, Shard: g.shard,
 					GShard: g.gshard, Start: g.start, QID: g.qid, FPHi: g.fpHi, FPLo: g.fpLo})
+				meta = append(meta, opMeta{})
 			}
 			mu.Unlock()
 			payload, err := wire.EncodeRequest(buf, ops)
@@ -465,7 +503,7 @@ func runTraceConn(cfg config, id int, rows []trace.Row, start time.Time, cnt *co
 				return
 			}
 			buf = payload
-			sendTs <- sent{time.Now(), len(ops)}
+			sendTs <- sent{time.Now(), len(ops), meta}
 			if err := wfc.WriteFrame(payload); err != nil {
 				werr <- err
 				return
@@ -477,18 +515,35 @@ func runTraceConn(cfg config, id int, rows []trace.Row, start time.Time, cnt *co
 	for ts := range sendTs {
 		payload, err := fc.ReadFrame()
 		if err != nil {
-			return lats, err
+			return lats, deadlines, err
 		}
 		if err := wire.DecodeResponse(payload, &res); err != nil {
-			return lats, err
+			return lats, deadlines, err
 		}
-		lats = append(lats, latSample{time.Since(ts.at).Seconds(), ts.ops})
+		arrived := time.Now()
+		lats = append(lats, latSample{arrived.Sub(ts.at).Seconds(), ts.ops})
+		for i := range res.Results {
+			if i >= len(ts.meta) || ts.meta[i].deadline <= 0 {
+				continue
+			}
+			m := &ts.meta[i]
+			d := deadlines[m.class]
+			if d == nil {
+				d = &deadlineCount{}
+				deadlines[m.class] = d
+			}
+			d.Total++
+			if res.Results[i].Status != wire.StatusAdmitted ||
+				arrived.Sub(m.due).Seconds() > m.deadline {
+				d.Missed++
+			}
+		}
 		mu.Lock()
 		harvest(res.Results, &grants, cnt)
 		mu.Unlock()
 	}
 	if err := <-werr; err != nil {
-		return lats, err
+		return lats, deadlines, err
 	}
 	// Release whatever is still admitted, unmeasured.
 	for len(grants) > 0 {
@@ -504,22 +559,22 @@ func runTraceConn(cfg config, id int, rows []trace.Row, start time.Time, cnt *co
 		grants = grants[:len(grants)-n]
 		payload, err := wire.EncodeRequest(nil, ops)
 		if err != nil {
-			return lats, err
+			return lats, deadlines, err
 		}
 		if err := fc.WriteFrame(payload); err != nil {
-			return lats, err
+			return lats, deadlines, err
 		}
 		payload, err = fc.ReadFrame()
 		if err != nil {
-			return lats, err
+			return lats, deadlines, err
 		}
 		if err := wire.DecodeResponse(payload, &res); err != nil {
-			return lats, err
+			return lats, deadlines, err
 		}
 		var drained []grantRec
 		harvest(res.Results, &drained, cnt)
 	}
-	return lats, nil
+	return lats, deadlines, nil
 }
 
 // runHTTPBatchConn drives POST /batch: the same binary frames, one in flight
@@ -712,9 +767,20 @@ type reportJSON struct {
 	DecisionP99Ms   float64 `json:"decision_p99_ms"`
 	NumCPU          int     `json:"num_cpu"`
 	GOMAXPROCS      int     `json:"gomaxprocs"`
+	// DeadlineMisses appears in trace mode when the replayed rows carry
+	// response-time SLOs: per class, how many admits had a recorded deadline
+	// and how many decisions came back past it.
+	DeadlineMisses []deadlineJSON `json:"deadline_misses,omitempty"`
 }
 
-func report(cfg config, elapsed float64, lats []latSample, cnt *counters) {
+// deadlineJSON is one class's deadline tally in the JSON report.
+type deadlineJSON struct {
+	Class  string `json:"class"`
+	Total  int64  `json:"total"`
+	Missed int64  `json:"missed"`
+}
+
+func report(cfg config, elapsed float64, lats []latSample, cnt *counters, deadlines map[string]*deadlineCount) {
 	sort.Slice(lats, func(a, b int) bool { return lats[a].sec < lats[b].sec })
 	// rtt_* percentiles treat every round trip equally; decision_*
 	// percentiles weight each round trip by the decisions it carried, so a
@@ -758,6 +824,15 @@ func report(cfg config, elapsed float64, lats []latSample, cnt *counters) {
 		DecisionP50Ms: dpct(0.50), DecisionP95Ms: dpct(0.95), DecisionP99Ms: dpct(0.99),
 		NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
 	}
+	classes := make([]string, 0, len(deadlines))
+	for class := range deadlines {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		d := deadlines[class]
+		r.DeadlineMisses = append(r.DeadlineMisses, deadlineJSON{Class: class, Total: d.Total, Missed: d.Missed})
+	}
 	if cfg.jsonOut {
 		json.NewEncoder(os.Stdout).Encode(r)
 		return
@@ -770,4 +845,8 @@ func report(cfg config, elapsed float64, lats []latSample, cnt *counters) {
 		r.P50Ms, r.P95Ms, r.P99Ms, r.NumCPU, r.GOMAXPROCS)
 	fmt.Printf("  decision ms: p50 %.3f  p95 %.3f  p99 %.3f\n",
 		r.DecisionP50Ms, r.DecisionP95Ms, r.DecisionP99Ms)
+	for _, d := range r.DeadlineMisses {
+		fmt.Printf("  deadline %-14s %d/%d missed (%.2f%%)\n",
+			d.Class, d.Missed, d.Total, 100*float64(d.Missed)/float64(d.Total))
+	}
 }

@@ -272,8 +272,12 @@ func printReplay(st *trace.ReplayStats) {
 		if c.Arrivals == 0 {
 			continue
 		}
-		fmt.Printf("  %-14s arrivals %9.0f  completed %9.0f  failed %6.0f  mean resp %8.4fs\n",
-			c.Class, c.Arrivals, c.Completed, c.Failed, c.MeanResp())
+		slo := "      -"
+		if c.SLOTotal > 0 {
+			slo = fmt.Sprintf("%6.2f%%", 100*c.Attainment())
+		}
+		fmt.Printf("  %-14s arrivals %9.0f  completed %9.0f  failed %6.0f  mean resp %8.4fs  slo %s\n",
+			c.Class, c.Arrivals, c.Completed, c.Failed, c.MeanResp(), slo)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"dbwlm/internal/engine"
 	"dbwlm/internal/obsv"
+	"dbwlm/internal/slo"
 )
 
 // DashboardRow is the per-workload live view of the Teradata manager's
@@ -102,6 +103,33 @@ func TraceTail(rec *obsv.Recorder, n int, className func(int32) string) string {
 	for i := range events {
 		b.WriteString(events[i].Format(className))
 		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SLOPanel renders the live SLO engine's per-class reports as the operator
+// console's objective panel: the objective itself (miss-budgeted deadline),
+// cumulative attainment, fast/slow-window burn rates, the windowed latency
+// percentile, error budget remaining, and whether the class is burning —
+// the wlmd-side companion to the simulated Manager's SLG column above.
+func SLOPanel(reports []slo.Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %14s %9s %7s %10s %10s %10s %7s %8s\n",
+		"class", "objective", "done", "missed", "burn/fast", "burn/slow", "p-lat ms", "budget", "state")
+	for i := range reports {
+		r := &reports[i]
+		obj := "best-effort"
+		if r.TargetSeconds > 0 {
+			obj = fmt.Sprintf("%.4g%%<=%gms", (1-r.MissBudget)*100, r.TargetSeconds*1e3)
+		}
+		state := "ok"
+		if r.Burning {
+			state = "BURNING"
+		}
+		fmt.Fprintf(&b, "%-14s %14s %9d %7d %10.2f %10.2f %10.3f %6.0f%% %8s\n",
+			r.Class, obj, r.Total, r.Missed,
+			r.Windows[0].BurnRate, r.Windows[1].BurnRate,
+			1e3*r.Windows[0].Latency, 100*r.BudgetRemaining, state)
 	}
 	return b.String()
 }

@@ -42,6 +42,11 @@ type Symptom struct {
 	Kind     SymptomKind
 	Class    string
 	Severity float64
+	// Reason, when set, overrides the Kind-derived flight-recorder reason —
+	// analyzers with a finer vocabulary than SymptomKind (the SLO engine's
+	// burn-rate/budget-exhausted diagnoses) use it so their reasoning lands
+	// verbatim in the trace.
+	Reason obsv.Reason
 }
 
 // ActionKind is the planner's vocabulary of effector actions — the
@@ -172,8 +177,12 @@ func (l *Loop) RunOnce() {
 	symptoms := l.Analyze(obs)
 	l.symptoms += int64(len(symptoms))
 	for i := range symptoms {
+		reason := symptoms[i].Reason
+		if reason == obsv.ReasonNone {
+			reason = symptomReason(symptoms[i].Kind)
+		}
 		l.Flight.Record(obsv.Event{At: at, Kind: obsv.KindMAPESymptom,
-			Reason: symptomReason(symptoms[i].Kind), Verdict: obsv.NoVerdict,
+			Reason: reason, Verdict: obsv.NoVerdict,
 			Class: l.flightClass(symptoms[i].Class), Value: symptoms[i].Severity})
 	}
 	if len(symptoms) == 0 {

@@ -342,6 +342,66 @@ func (h *StripedHistogram) Cumulative(f func(upperBound float64, cumulative int6
 	return m.count, m.sum
 }
 
+// StripedBuckets is the striped-histogram bucket count, exported for
+// consumers that retain merged bucket arrays (internal/slo's epoch ring
+// snapshots cumulative bucket state and diffs it on read).
+const StripedBuckets = stripedBuckets
+
+// StripedUpper reports the inclusive upper bound of striped bucket i in the
+// shared log-bucket layout.
+func StripedUpper(i int) float64 { return stripedBucketUpper(i) }
+
+// MergeBuckets merges the shards' bucket arrays into dst (overwriting it)
+// and reports the merged count and sum. Like every merged read, each shard's
+// contribution is exact at the instant it is read and all counters are
+// monotone, so the result is bounded by the true state at the start and end
+// of the call.
+func (h *StripedHistogram) MergeBuckets(dst *[StripedBuckets]int64) (count int64, sum float64) {
+	*dst = [StripedBuckets]int64{}
+	for i := range h.shards {
+		s := &h.shards[i]
+		c := s.count.Load()
+		if c == 0 {
+			continue
+		}
+		for b := range s.buckets {
+			dst[b] += s.buckets[b].Load()
+		}
+		count += c
+		sum += math.Float64frombits(s.sumBits.Load())
+	}
+	return count, sum
+}
+
+// BucketPercentile reports the p-th percentile upper bound over a raw bucket
+// array in the striped layout whose counts total to count. It is the
+// percentile walk of Snapshot applied to an externally-diffed bucket array
+// (a windowed view has no windowed min/max, so the only clamp is the bucket
+// upper bound itself). count <= 0 reports 0.
+func BucketPercentile(b *[StripedBuckets]int64, count int64, p float64) float64 {
+	if count <= 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	rank := int64(math.Ceil(p / 100 * float64(count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range b {
+		seen += n
+		if seen >= rank {
+			return stripedBucketUpper(i)
+		}
+	}
+	return stripedBucketUpper(StripedBuckets - 1)
+}
+
 // Snapshot merges the shards into a reporting summary.
 //
 //dbwlm:hotpath

@@ -133,6 +133,15 @@ const (
 	ReasonResume
 	ReasonNoAction
 
+	// SLO-engine reasons (appended so existing numeric values stay stable):
+	// ReasonDeadlineMiss marks a KindDone event whose service time exceeded
+	// the class deadline; ReasonBurnRate and ReasonBudgetExhausted are the
+	// analyzer's multi-window burn-rate symptoms (budget burning too fast /
+	// error budget fully spent over the slow window).
+	ReasonDeadlineMiss
+	ReasonBurnRate
+	ReasonBudgetExhausted
+
 	numReasons
 )
 
@@ -142,6 +151,7 @@ var reasonNames = [numReasons]string{
 	"slo-violation", "overload", "underload",
 	"throttle", "suspend", "kill", "kill-resubmit", "reprioritize",
 	"resume", "none",
+	"deadline-miss", "burn-rate", "budget-exhausted",
 }
 
 // String names the reason ("" for ReasonNone).
@@ -369,6 +379,9 @@ type Filter struct {
 	Class   int32 // NoClass/-1 matches all; set exact class ID otherwise
 	Verdict int16 // -1 matches all; else the rt.Verdict numeric value
 	QID     int64 // 0 matches all
+	// MinAt drops events older than this timestamp (same clock as
+	// Event.At); 0 matches all. The /trace?since= time-range filter.
+	MinAt int64
 }
 
 // MatchAll is the drain-everything filter.
@@ -387,6 +400,9 @@ func (f *Filter) match(e *Event) bool {
 	if f.QID != 0 && e.QID != f.QID {
 		return false
 	}
+	if f.MinAt != 0 && e.At < f.MinAt {
+		return false
+	}
 	return true
 }
 
@@ -398,7 +414,7 @@ func (r *Recorder) Tail(n int, f Filter) []Event {
 	if r == nil {
 		return nil
 	}
-	if f.Class == 0 && f.Verdict == 0 && f.Kind == KindAny && f.QID == 0 {
+	if f.Class == 0 && f.Verdict == 0 && f.Kind == KindAny && f.QID == 0 && f.MinAt == 0 {
 		// A literal zero-value Filter means "everything"; normalize the
 		// class/verdict sentinels so class 0 / verdict 0 are not singled out.
 		f = MatchAll

@@ -26,6 +26,26 @@ type RuntimeClassLimit struct {
 	RetryBatch int `json:"retry_batch"`
 }
 
+// RuntimeSLO is one class's reloadable service-level objective: the deadline
+// and error-budget knobs the SLO engine (internal/slo) evaluates. Evaluation
+// windows are fixed at daemon start (-slo-fast/-slo-slow), not reloadable.
+type RuntimeSLO struct {
+	// Class names the service class the objective applies to.
+	Class string `json:"class"`
+	// TargetMS is the per-request latency deadline in milliseconds; a
+	// completion slower than this is a deadline miss. 0 = best-effort.
+	TargetMS float64 `json:"target_ms"`
+	// MissBudget is the allowed deadline-miss fraction in [0, 1)
+	// (0 selects the engine default, 0.001).
+	MissBudget float64 `json:"miss_budget,omitempty"`
+	// Percentile is the windowed latency percentile reported for the class
+	// (0 selects the engine default, 95).
+	Percentile float64 `json:"percentile,omitempty"`
+	// BurnThreshold is the burn-rate multiple at which both evaluation
+	// windows flag the class as burning (0 selects the engine default, 4).
+	BurnThreshold float64 `json:"burn_threshold,omitempty"`
+}
+
 // RuntimePolicy is a reloadable live-runtime policy: per-class limits plus a
 // global concurrency valve.
 type RuntimePolicy struct {
@@ -35,6 +55,10 @@ type RuntimePolicy struct {
 	// Classes are the per-class limits. A class absent here keeps its
 	// current limits on reload.
 	Classes []RuntimeClassLimit `json:"classes"`
+	// SLOs are the per-class objectives, applied only when the daemon runs
+	// with the SLO engine enabled. A class absent here keeps its current
+	// objective on reload.
+	SLOs []RuntimeSLO `json:"slos,omitempty"`
 }
 
 // Validate checks bounds and rejects duplicate class entries.
@@ -63,6 +87,29 @@ func (p *RuntimePolicy) Validate() error {
 		}
 		if c.RetryBatch < 0 {
 			return fmt.Errorf("policy: class %q retry_batch %d negative", c.Class, c.RetryBatch)
+		}
+	}
+	seenSLO := make(map[string]bool, len(p.SLOs))
+	for i := range p.SLOs {
+		s := &p.SLOs[i]
+		if s.Class == "" {
+			return fmt.Errorf("policy: slos[%d] missing class name", i)
+		}
+		if seenSLO[s.Class] {
+			return fmt.Errorf("policy: duplicate slo for class %q", s.Class)
+		}
+		seenSLO[s.Class] = true
+		if s.TargetMS < 0 {
+			return fmt.Errorf("policy: class %q slo target_ms %v negative", s.Class, s.TargetMS)
+		}
+		if s.MissBudget < 0 || s.MissBudget >= 1 {
+			return fmt.Errorf("policy: class %q slo miss_budget %v outside [0, 1)", s.Class, s.MissBudget)
+		}
+		if s.Percentile < 0 || s.Percentile > 100 {
+			return fmt.Errorf("policy: class %q slo percentile %v outside [0, 100]", s.Class, s.Percentile)
+		}
+		if s.BurnThreshold != 0 && s.BurnThreshold < 1 {
+			return fmt.Errorf("policy: class %q slo burn_threshold %v < 1", s.Class, s.BurnThreshold)
 		}
 	}
 	return nil

@@ -1,0 +1,70 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRuntimePolicySLOValidation: the slos section's bounds, the duplicate
+// guard, and the zero-selects-default convention.
+func TestRuntimePolicySLOValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		slos    []RuntimeSLO
+		wantErr string // substring; empty means valid
+	}{
+		{"empty", nil, ""},
+		{"minimal", []RuntimeSLO{{Class: "oltp", TargetMS: 50}}, ""},
+		{"best effort", []RuntimeSLO{{Class: "adhoc"}}, ""},
+		{"full knobs", []RuntimeSLO{{Class: "oltp", TargetMS: 50,
+			MissBudget: 0.01, Percentile: 99, BurnThreshold: 14.4}}, ""},
+		{"missing class", []RuntimeSLO{{TargetMS: 50}}, "missing class"},
+		{"duplicate class", []RuntimeSLO{
+			{Class: "oltp", TargetMS: 50}, {Class: "oltp", TargetMS: 60},
+		}, "duplicate slo"},
+		{"negative target", []RuntimeSLO{{Class: "oltp", TargetMS: -1}}, "target_ms"},
+		{"budget at one", []RuntimeSLO{{Class: "oltp", MissBudget: 1}}, "miss_budget"},
+		{"negative budget", []RuntimeSLO{{Class: "oltp", MissBudget: -0.1}}, "miss_budget"},
+		{"percentile over", []RuntimeSLO{{Class: "oltp", Percentile: 101}}, "percentile"},
+		{"burn under one", []RuntimeSLO{{Class: "oltp", BurnThreshold: 0.5}}, "burn_threshold"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			p := &RuntimePolicy{SLOs: c.slos}
+			err := p.Validate()
+			if c.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want ok", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, c.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseRuntimePolicySLOs: the JSON document round-trips the slos section
+// and parse rejects what Validate rejects.
+func TestParseRuntimePolicySLOs(t *testing.T) {
+	p, err := ParseRuntimePolicy([]byte(`{
+		"slos": [
+			{"class": "oltp", "target_ms": 250, "miss_budget": 0.05},
+			{"class": "batch"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.SLOs) != 2 || p.SLOs[0].Class != "oltp" ||
+		p.SLOs[0].TargetMS != 250 || p.SLOs[0].MissBudget != 0.05 {
+		t.Fatalf("parsed slos %+v", p.SLOs)
+	}
+	if p.SLOs[1].TargetMS != 0 {
+		t.Fatalf("batch objective %+v, want best-effort", p.SLOs[1])
+	}
+	if _, err := ParseRuntimePolicy([]byte(`{"slos": [{"target_ms": 5}]}`)); err == nil {
+		t.Fatal("nameless slo parsed without error")
+	}
+}

@@ -69,6 +69,10 @@ func (r *Runtime) WritePrometheus(p *obsv.PromWriter) {
 		p.Gauge("dbwlm_trace_capacity", "Flight-recorder slot capacity.")
 		p.Val(float64(rec.Cap()))
 	}
+
+	// The dbwlm_slo_* families appear only when the SLO engine is attached,
+	// same gating as the recorder families above.
+	r.slo.WritePrometheus(p)
 }
 
 // WritePrometheus renders the prediction pipeline's families: plan-cache

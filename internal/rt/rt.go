@@ -12,6 +12,7 @@ import (
 	"dbwlm/internal/metrics"
 	"dbwlm/internal/obsv"
 	"dbwlm/internal/policy"
+	"dbwlm/internal/slo"
 )
 
 // ClassID indexes the runtime's fixed class table.
@@ -174,6 +175,10 @@ type Runtime struct {
 	rec  *obsv.Recorder
 	qids qidAlloc
 
+	// slo is the SLO attainment engine; nil (the default) disables deadline
+	// accounting at Done, same single-branch discipline as rec.
+	slo *slo.Engine
+
 	stop chan struct{}
 }
 
@@ -184,6 +189,16 @@ func (r *Runtime) SetRecorder(rec *obsv.Recorder) { r.rec = rec }
 
 // Recorder reports the attached flight recorder (nil when disabled).
 func (r *Runtime) Recorder() *obsv.Recorder { return r.rec }
+
+// SetSLO attaches an SLO engine; nil detaches it. Call before serving
+// traffic — the runtime reads the pointer without synchronization at Done.
+// The engine's class indexes must match this runtime's class table (build it
+// from specs in the same order), and it should share the runtime clock so
+// windows and deadlines agree.
+func (r *Runtime) SetSLO(e *slo.Engine) { r.slo = e }
+
+// SLO reports the attached SLO engine (nil when disabled).
+func (r *Runtime) SLO() *slo.Engine { return r.slo }
 
 // atomicBool avoids importing sync/atomic here just for one flag.
 type atomicBool struct{ v metrics.AtomicGauge }
@@ -422,9 +437,17 @@ func (r *Runtime) Done(g Grant, idealSeconds float64) {
 		cs.velocity.Record(v)
 	}
 	cs.completed.Inc()
+	missed := false
+	if r.slo != nil {
+		missed = r.slo.Observe(int32(g.class), elapsed)
+	}
 	if r.rec != nil {
+		reason := obsv.ReasonNone
+		if missed {
+			reason = obsv.ReasonDeadlineMiss
+		}
 		r.rec.Record(obsv.Event{At: r.now(), QID: g.id,
-			Kind: obsv.KindDone, Verdict: obsv.NoVerdict,
+			Kind: obsv.KindDone, Reason: reason, Verdict: obsv.NoVerdict,
 			Class: int32(g.class), Value: elapsed, Aux: idealSeconds})
 	}
 	cs.gate.leave(g.shard)
@@ -603,6 +626,18 @@ func (r *Runtime) ApplyPolicy(p *policy.RuntimePolicy) error {
 			return fmt.Errorf("rt: policy names unknown class %q", p.Classes[i].Class)
 		}
 	}
+	// Objectives apply before gate limits so an SLO error (engine disabled,
+	// unknown class) leaves the limits untouched.
+	if len(p.SLOs) > 0 && r.slo == nil {
+		return fmt.Errorf("rt: policy carries slos but the SLO engine is disabled (start with -slo)")
+	}
+	for i := range p.SLOs {
+		s := &p.SLOs[i]
+		if err := r.slo.SetObjective(s.Class, s.TargetMS/1e3, s.MissBudget,
+			s.Percentile, s.BurnThreshold); err != nil {
+			return err
+		}
+	}
 	for i := range p.Classes {
 		c := &p.Classes[i]
 		cs := r.classes[r.byName[c.Class]]
@@ -635,6 +670,17 @@ func (r *Runtime) Policy() *policy.RuntimePolicy {
 			MaxQueueDelayMS: lim.maxQueueDelay / int64(time.Millisecond),
 			RetryBatch:      int(lim.retryBatch),
 		})
+	}
+	if r.slo != nil {
+		for _, sp := range r.slo.Specs() {
+			p.SLOs = append(p.SLOs, policy.RuntimeSLO{
+				Class:         sp.Class,
+				TargetMS:      sp.Target * 1e3,
+				MissBudget:    sp.MissBudget,
+				Percentile:    sp.Percentile,
+				BurnThreshold: sp.BurnThreshold,
+			})
+		}
 	}
 	return p
 }

@@ -22,6 +22,7 @@ import (
 	"dbwlm/internal/policy"
 	"dbwlm/internal/rt"
 	"dbwlm/internal/sim"
+	"dbwlm/internal/slo"
 	"dbwlm/internal/wire"
 )
 
@@ -63,6 +64,7 @@ func NewServer(r *rt.Runtime) *Server {
 	s.handle("/batch", methods{http.MethodPost: s.handleBatch})
 	s.handle("/stats", methods{http.MethodGet: s.handleStats})
 	s.handle("/trace", methods{http.MethodGet: s.handleTrace})
+	s.handle("/slo", methods{http.MethodGet: s.handleSLO})
 	s.handle("/metrics", methods{http.MethodGet: s.handleMetrics})
 	s.handle("/policy", methods{
 		http.MethodGet:  s.handlePolicyGet,
@@ -425,7 +427,9 @@ type TraceResponse struct {
 }
 
 // handleTrace drains the flight recorder: GET /trace?n=&class=&verdict=&
-// kind=&qid=. n defaults to 100 (n=0 returns every retained match).
+// kind=&qid=&since=. n defaults to 100 (n=0 returns every retained match);
+// since is a Go duration ("30s", "5m") keeping only events newer than that
+// on the runtime clock.
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	rec := s.rt.Recorder()
 	if rec == nil {
@@ -474,6 +478,16 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		}
 		f.QID = qid
 	}
+	if v := r.FormValue("since"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			httpError(w, http.StatusBadRequest, "bad since %q (want a duration like 30s)", v)
+			return
+		}
+		if minAt := s.rt.NowNanos() - d.Nanoseconds(); minAt > 0 {
+			f.MinAt = minAt
+		}
+	}
 	events := rec.Tail(n, f)
 	resp := TraceResponse{
 		Recorded:    rec.Recorded(),
@@ -502,6 +516,30 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		resp.Events[i] = te
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// SLOResponse is the /slo reply: every class's objective, windowed burn
+// rates, and error-budget state at the runtime clock's now.
+type SLOResponse struct {
+	NowSeconds float64 `json:"now_seconds"`
+	// EpochSeconds is the window-quantization grain: windowed numbers cover
+	// their nominal span rounded up by less than one epoch.
+	EpochSeconds float64      `json:"epoch_seconds"`
+	Classes      []slo.Report `json:"classes"`
+}
+
+// handleSLO reports SLO attainment: GET /slo on a daemon started with -slo.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	e := s.rt.SLO()
+	if e == nil {
+		httpError(w, http.StatusNotFound, "slo engine disabled (start wlmd with -slo)")
+		return
+	}
+	writeJSON(w, http.StatusOK, SLOResponse{
+		NowSeconds:   float64(s.rt.NowNanos()) / 1e9,
+		EpochSeconds: float64(e.EpochNS()) / 1e9,
+		Classes:      e.Evaluate(),
+	})
 }
 
 // handleMetrics renders the Prometheus text-format exposition (the one
@@ -602,10 +640,18 @@ func RunIndicatorLoop(r *rt.Runtime, interval time.Duration) (stop func()) {
 // the indicator thresholds (Zhang et al.) to diagnose overload — or
 // underload once the congestion gate is closed and the indicators have
 // cleared — the planner picks the gate action, and the executor flips the
-// low-priority gate. With a flight recorder attached, every iteration's
-// snapshot, symptoms, and actions land in the trace: the MAPE loop thinking
-// out loud. Drive it with RunOnce (tests, selftest) or StartMAPELoop.
+// low-priority gate. When the runtime carries an SLO engine, the analyzer
+// also consumes its multi-window burn rates: a class burning error budget in
+// both windows raises an slo-violation symptom whose recorder reason says
+// why (burn-rate, or budget-exhausted once the cumulative budget is spent),
+// and the planner sheds low-priority work for it. With a flight
+// recorder attached, every iteration's snapshot, symptoms, and actions land
+// in the trace: the MAPE loop thinking out loud. Drive it with RunOnce
+// (tests, selftest) or StartMAPELoop.
 func NewMAPELoop(r *rt.Runtime, rec *obsv.Recorder) *autonomic.Loop {
+	// Evaluation scratch reused across cycles (the loop runs RunOnce on one
+	// goroutine).
+	var sloReports []slo.Report
 	return &autonomic.Loop{
 		Flight: rec,
 		ClassID: func(name string) int32 {
@@ -621,20 +667,44 @@ func NewMAPELoop(r *rt.Runtime, rec *obsv.Recorder) *autonomic.Loop {
 			}
 		},
 		Analyze: func(obs autonomic.Observation) []autonomic.Symptom {
+			var out []autonomic.Symptom
+			if e := r.SLO(); e != nil {
+				sloReports = e.EvaluateInto(sloReports)
+				for i := range sloReports {
+					rp := &sloReports[i]
+					if !rp.Burning {
+						continue
+					}
+					reason := obsv.ReasonBurnRate
+					sev := rp.Windows[0].BurnRate / (2 * rp.BurnThreshold)
+					if rp.BudgetRemaining == 0 {
+						reason = obsv.ReasonBudgetExhausted
+						sev = 1
+					}
+					if sev > 1 {
+						sev = 1
+					}
+					out = append(out, autonomic.Symptom{
+						Kind: autonomic.SymptomSLOViolation, Class: rp.Class,
+						Severity: sev, Reason: reason,
+					})
+				}
+			}
 			congested, severity := congestion(obs)
 			switch {
 			case congested:
-				return []autonomic.Symptom{{Kind: autonomic.SymptomOverload, Severity: severity}}
-			case r.LowPriorityGate():
-				// The gate is holding work the indicators no longer justify.
-				return []autonomic.Symptom{{Kind: autonomic.SymptomUnderload, Severity: 1}}
+				out = append(out, autonomic.Symptom{Kind: autonomic.SymptomOverload, Severity: severity})
+			case len(out) == 0 && r.LowPriorityGate():
+				// The gate is holding work that neither the indicators nor
+				// the burn rates still justify.
+				out = append(out, autonomic.Symptom{Kind: autonomic.SymptomUnderload, Severity: 1})
 			}
-			return nil
+			return out
 		},
 		Plan: func(_ autonomic.Observation, symptoms []autonomic.Symptom) []autonomic.PlannedAction {
 			for _, sym := range symptoms {
 				switch sym.Kind {
-				case autonomic.SymptomOverload:
+				case autonomic.SymptomOverload, autonomic.SymptomSLOViolation:
 					return []autonomic.PlannedAction{{Kind: autonomic.ActionThrottle, Amount: 1}}
 				case autonomic.SymptomUnderload:
 					return []autonomic.PlannedAction{{Kind: autonomic.ActionResume}}

@@ -55,6 +55,7 @@ func TestJSONEverywhere(t *testing.T) {
 		{"GET", "/stats", nil, http.StatusOK},
 		{"GET", "/policy", nil, http.StatusOK},
 		{"GET", "/trace", nil, http.StatusNotFound}, // recorder not attached
+		{"GET", "/slo", nil, http.StatusNotFound},   // slo engine not attached
 		{"POST", "/load", url.Values{"mem": {"wat"}}, http.StatusBadRequest},
 		{"GET", "/nosuch", nil, http.StatusNotFound},
 	}

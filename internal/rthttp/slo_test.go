@@ -1,0 +1,307 @@
+package rthttp
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"dbwlm/internal/obsv"
+	"dbwlm/internal/rt"
+	"dbwlm/internal/slo"
+)
+
+// newSLOTestRuntime builds the standard three-class runtime on an injected
+// clock with an attached SLO engine whose windows are short enough to age
+// within a test.
+func newSLOTestRuntime(t testing.TB, clock *int64) *rt.Runtime {
+	t.Helper()
+	r, err := rt.New(testSpecs(), rt.Options{Now: func() int64 { return *clock }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := slo.New([]slo.Spec{
+		{Class: "interactive", Target: 0.001, MissBudget: 0.01,
+			FastWindow: time.Second, SlowWindow: 4 * time.Second},
+		{Class: "reporting", Target: 0.5},
+		{Class: "batch"},
+	}, slo.Options{Now: r.NowNanos, Epoch: 250 * time.Millisecond, HistShards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetSLO(eng)
+	return r
+}
+
+// TestSLOGolden drives a fixed admit/done sequence on an injected clock and
+// compares the full GET /slo document against testdata/slo.golden, plus
+// repeated GETs for byte stability. Every value in the report is an integer
+// count or a ratio of integer counts, so the page is exactly reproducible.
+// Regenerate with UPDATE_GOLDEN=1.
+func TestSLOGolden(t *testing.T) {
+	clock := int64(0)
+	r := newSLOTestRuntime(t, &clock)
+
+	g := r.Admit(0, 100) // interactive, within target
+	clock += 500_000     // 0.5ms
+	r.Done(g, 0.0004)
+
+	g = r.Admit(0, 100) // interactive, 5ms: a deadline miss
+	clock += 5_000_000
+	r.Done(g, 0.004)
+
+	g = r.Admit(1, 100) // reporting, within its 500ms target
+	clock += 20_000_000
+	r.Done(g, 0.02)
+
+	g = r.Admit(2, 10) // batch, best-effort
+	clock += 40_000_000
+	r.Done(g, 0.04)
+
+	// Evaluate just past the first closed epoch so the whole sequence sits
+	// inside both windows (their starts clamp to process start).
+	clock = int64(300 * time.Millisecond)
+
+	srv := httptest.NewServer(NewServer(r))
+	defer srv.Close()
+	get := func() []byte {
+		resp, err := http.Get(srv.URL + "/slo")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /slo: status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("GET /slo: Content-Type %q", ct)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return body
+	}
+	body := get()
+	for i := 0; i < 3; i++ {
+		if again := get(); !bytes.Equal(body, again) {
+			t.Fatalf("GET /slo changed between reads:\n%s\nvs\n%s", body, again)
+		}
+	}
+
+	golden := filepath.Join("testdata", "slo.golden")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(golden, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("/slo drifted from golden file:\n--- got ---\n%s--- want ---\n%s", body, want)
+	}
+
+	// Sanity beyond bytes: the document says what the sequence did.
+	var sr SLOResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Classes) != 3 {
+		t.Fatalf("classes %d, want 3", len(sr.Classes))
+	}
+	ia := sr.Classes[0]
+	if ia.Class != "interactive" || ia.Total != 2 || ia.Missed != 1 {
+		t.Fatalf("interactive report %+v, want 1/2 missed", ia)
+	}
+	if ia.Windows[0].MissRate != 0.5 || ia.Windows[0].BurnRate != 50 {
+		t.Fatalf("interactive fast window %+v, want miss rate 0.5 burn 50", ia.Windows[0])
+	}
+}
+
+// TestMetricsSLOGolden is TestMetricsGolden with the SLO engine attached:
+// the same deterministic page now ends with the dbwlm_slo_* families.
+// Regenerate with UPDATE_GOLDEN=1.
+func TestMetricsSLOGolden(t *testing.T) {
+	clock := int64(0)
+	r := newSLOTestRuntime(t, &clock)
+	r.SetRecorder(obsv.NewRecorderShards(1024, 8))
+
+	g := r.Admit(0, 100)
+	clock += 5_000_000 // 5ms: misses the 1ms interactive target
+	r.Done(g, 0.004)
+	g = r.Admit(2, 10)
+	clock += 20_000_000
+	r.Done(g, 0.02)
+	clock = int64(300 * time.Millisecond)
+
+	srv := httptest.NewServer(NewServer(r))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(body, []byte("dbwlm_slo_deadline_misses_total")) {
+		t.Fatalf("/metrics missing slo families:\n%s", body)
+	}
+
+	golden := filepath.Join("testdata", "metrics_slo.golden")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.WriteFile(golden, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_GOLDEN=1 to regenerate)", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Fatalf("/metrics drifted from golden file:\n--- got ---\n%s--- want ---\n%s", body, want)
+	}
+}
+
+// TestTraceSinceFilter: the since= parameter narrows the drain to events
+// newer than now minus the duration, and malformed values are JSON 400s.
+func TestTraceSinceFilter(t *testing.T) {
+	clock := int64(0)
+	r, err := rt.New(testSpecs(), rt.Options{Now: func() int64 { return clock }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetRecorder(obsv.NewRecorder(1024))
+	g := r.Admit(0, 100) // at t=0
+	r.Done(g, 0.001)     // at t=0
+	clock = int64(10 * time.Second)
+	r.Admit(1, 100) // at t=10s
+	clock = int64(12 * time.Second)
+
+	srv := httptest.NewServer(NewServer(r))
+	defer srv.Close()
+
+	for _, q := range []string{"?since=wat", "?since=-3s", "?since=5"} {
+		resp, err := http.Get(srv.URL + "/trace" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("trace%s: status %d, want 400 (%s)", q, resp.StatusCode, body)
+		}
+	}
+
+	get := func(q string) TraceResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/trace" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var tr TraceResponse
+		if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	if all := get(""); len(all.Events) != 3 {
+		t.Fatalf("unfiltered drain %d events, want 3", len(all.Events))
+	}
+	recent := get("?since=5s") // cutoff at t=7s: only the t=10s admit
+	if len(recent.Events) != 1 || recent.Events[0].Class != "reporting" {
+		t.Fatalf("since=5s drained %+v, want the recent admit only", recent.Events)
+	}
+	// A window wider than the process lifetime matches everything.
+	if wide := get("?since=1h"); len(wide.Events) != 3 {
+		t.Fatalf("since=1h drained %d events, want 3", len(wide.Events))
+	}
+	// since composes with the other filters.
+	if mixed := get("?since=5s&kind=done"); len(mixed.Events) != 0 {
+		t.Fatalf("since+kind drained %+v, want none", mixed.Events)
+	}
+}
+
+// TestMAPELoopBurnRate drives the live analyzer through the full burn-rate
+// arc on an injected clock: a healthy class starts missing hard -> an
+// slo-violation symptom with the burn-rate reason closes the low-priority
+// gate while budget remains; sustained misses exhaust the cumulative budget
+// -> the reason escalates to budget-exhausted at severity 1; the burst ages
+// out of both windows -> underload reopens the gate.
+func TestMAPELoopBurnRate(t *testing.T) {
+	clock := int64(0)
+	r := newSLOTestRuntime(t, &clock)
+	rec := obsv.NewRecorder(1024)
+	r.SetRecorder(rec)
+	loop := NewMAPELoop(r, rec)
+	eng := r.SLO()
+
+	// A healthy history: 10000 hits, aged out of both windows.
+	for i := 0; i < 10000; i++ {
+		eng.Observe(0, 0.0001)
+	}
+	clock = int64(10 * time.Second)
+	loop.RunOnce() // healthy: no symptom
+	if r.LowPriorityGate() {
+		t.Fatal("gate closed while healthy")
+	}
+
+	// A pure-miss burst inside both windows: burning, budget still in hand.
+	for i := 0; i < 20; i++ {
+		eng.Observe(0, 1)
+	}
+	clock += int64(300 * time.Millisecond)
+	loop.RunOnce()
+	if !r.LowPriorityGate() {
+		t.Fatal("gate open after burn-rate symptom")
+	}
+
+	// Sustained misses overdraw the cumulative budget: 20+200 misses in
+	// 10220 observations is ~2.2%, past the 1% budget.
+	for i := 0; i < 200; i++ {
+		eng.Observe(0, 1)
+	}
+	clock += int64(300 * time.Millisecond)
+	loop.RunOnce()
+
+	// The burst ages out of both windows; the gate is holding work that
+	// nothing justifies anymore, so the loop resumes it.
+	clock += int64(20 * time.Second)
+	loop.RunOnce()
+	if r.LowPriorityGate() {
+		t.Fatal("gate still closed after the burst aged out")
+	}
+
+	f := obsv.MatchAll
+	f.Kind = obsv.KindMAPESymptom
+	symptoms := rec.Tail(0, f)
+	if len(symptoms) != 3 {
+		t.Fatalf("symptom events %+v, want burn-rate, budget-exhausted, underload", symptoms)
+	}
+	if symptoms[0].Reason != obsv.ReasonBurnRate || symptoms[0].Class != 0 || symptoms[0].Value != 1 {
+		t.Fatalf("first symptom %+v, want burn-rate on class 0 at severity 1", symptoms[0])
+	}
+	if symptoms[1].Reason != obsv.ReasonBudgetExhausted || symptoms[1].Value != 1 {
+		t.Fatalf("second symptom %+v, want budget-exhausted", symptoms[1])
+	}
+	if symptoms[2].Reason != obsv.ReasonUnderload {
+		t.Fatalf("third symptom %+v, want underload", symptoms[2])
+	}
+	f.Kind = obsv.KindMAPEAction
+	actions := rec.Tail(0, f)
+	if len(actions) != 3 ||
+		actions[0].Reason != obsv.ReasonThrottle ||
+		actions[1].Reason != obsv.ReasonThrottle ||
+		actions[2].Reason != obsv.ReasonResume {
+		t.Fatalf("recorded actions %+v", actions)
+	}
+}

@@ -1,0 +1,67 @@
+package slo
+
+import (
+	"dbwlm/internal/obsv"
+)
+
+// WritePrometheus emits the dbwlm_slo_* families: objectives, cumulative
+// miss accounting, windowed miss/burn rates and latency percentiles, budget
+// remaining, and the burning flag. Safe on a nil receiver (writes nothing).
+// Every sample is an integer count or a ratio of integers, so pages are
+// byte-stable under a deterministic drive.
+func (e *Engine) WritePrometheus(p *obsv.PromWriter) {
+	if e == nil {
+		return
+	}
+	now := e.now()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rs := e.evalInto(now)
+
+	p.Gauge("dbwlm_slo_target_seconds", "Per-class latency deadline in seconds (0 = best-effort).")
+	for i := range rs {
+		p.Val(rs[i].TargetSeconds, "class", rs[i].Class)
+	}
+	p.Gauge("dbwlm_slo_miss_budget", "Allowed deadline-miss fraction (error budget).")
+	for i := range rs {
+		p.Val(rs[i].MissBudget, "class", rs[i].Class)
+	}
+	p.Counter("dbwlm_slo_observed_total", "Completed requests observed by the SLO engine.")
+	for i := range rs {
+		p.Val(float64(rs[i].Total), "class", rs[i].Class)
+	}
+	p.Counter("dbwlm_slo_deadline_misses_total", "Requests that exceeded their class deadline.")
+	for i := range rs {
+		p.Val(float64(rs[i].Missed), "class", rs[i].Class)
+	}
+	p.Gauge("dbwlm_slo_window_miss_rate", "Deadline-miss fraction over each evaluation window.")
+	for i := range rs {
+		for w := range rs[i].Windows {
+			p.Val(rs[i].Windows[w].MissRate, "class", rs[i].Class, "window", rs[i].Windows[w].Name)
+		}
+	}
+	p.Gauge("dbwlm_slo_window_burn_rate", "Error-budget burn rate over each evaluation window (1 = sustainable).")
+	for i := range rs {
+		for w := range rs[i].Windows {
+			p.Val(rs[i].Windows[w].BurnRate, "class", rs[i].Class, "window", rs[i].Windows[w].Name)
+		}
+	}
+	p.Gauge("dbwlm_slo_window_latency_seconds", "Windowed latency percentile (the class's reporting percentile).")
+	for i := range rs {
+		for w := range rs[i].Windows {
+			p.Val(rs[i].Windows[w].Latency, "class", rs[i].Class, "window", rs[i].Windows[w].Name)
+		}
+	}
+	p.Gauge("dbwlm_slo_budget_remaining", "Unconsumed fraction of the cumulative error budget (1 = untouched, 0 = exhausted).")
+	for i := range rs {
+		p.Val(rs[i].BudgetRemaining, "class", rs[i].Class)
+	}
+	p.Gauge("dbwlm_slo_burning", "1 when both windows burn at or above the class threshold.")
+	for i := range rs {
+		b := 0.0
+		if rs[i].Burning {
+			b = 1
+		}
+		p.Val(b, "class", rs[i].Class)
+	}
+}

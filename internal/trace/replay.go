@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"dbwlm/internal/engine"
+	"dbwlm/internal/policy"
 	"dbwlm/internal/sim"
 )
 
@@ -79,6 +80,16 @@ type ClassStats struct {
 	Windows []float64
 	// Hist is the weighted response-time histogram (log2 buckets).
 	Hist [HistBuckets]float64
+	// SLOTotal and SLOMissed score the trace's recorded response-time
+	// objectives offline: every finished row carrying an avg- or
+	// percentile-response-time SLO adds its weight to SLOTotal, and to
+	// SLOMissed when the response exceeded the row's target (kills and
+	// deadlocks always miss). Best-effort, velocity, and throughput-floor
+	// rows do not score. Compressed replays score the same way — a weight-37
+	// representative that misses charges 37 misses — so full and compressed
+	// attainment are directly comparable, like every other column here.
+	SLOTotal  float64
+	SLOMissed float64
 }
 
 // MeanResp reports the weighted mean response time in seconds.
@@ -87,6 +98,29 @@ func (c *ClassStats) MeanResp() float64 {
 		return 0
 	}
 	return c.RespSum / c.Completed
+}
+
+// Attainment reports the weighted fraction of SLO-bearing rows that met
+// their recorded objective, in [0, 1]. Classes with no scorable rows report
+// 1 (nothing asked for, nothing missed).
+func (c *ClassStats) Attainment() float64 {
+	if c.SLOTotal <= 0 {
+		return 1
+	}
+	return 1 - c.SLOMissed/c.SLOTotal
+}
+
+// SLODeadline extracts the row's response-time objective in seconds; 0 means
+// the row does not score (best-effort rows, and the velocity and
+// throughput-floor kinds, whose targets are not response bounds). Replay and
+// the wlmload trace driver share this so offline and live scoring agree on
+// which rows carry a deadline.
+func (r *Row) SLODeadline() float64 {
+	k := policy.SLOKind(r.SLOKind)
+	if (k == policy.SLOAvgResponseTime || k == policy.SLOPercentileResponseTime) && r.SLOTarget > 0 {
+		return r.SLOTarget
+	}
+	return 0
 }
 
 // ReplayStats is the result of one engine-direct replay.
@@ -185,6 +219,7 @@ func replayWith(src Source, cfg ReplayConfig, s *sim.Simulator, eng *engine.Engi
 		arrive := at
 		weight := w
 		ci := row.Class
+		deadline := row.SLODeadline()
 		eng.Submit(row.Spec(), 1, func(q *engine.Query, oc engine.Outcome) {
 			cs := classAt(ci)
 			if oc == engine.OutcomeCompleted {
@@ -192,8 +227,18 @@ func replayWith(src Source, cfg ReplayConfig, s *sim.Simulator, eng *engine.Engi
 				cs.Completed += weight
 				cs.RespSum += weight * resp
 				cs.Hist[histBucket(resp)] += weight
+				if deadline > 0 {
+					cs.SLOTotal += weight
+					if resp > deadline {
+						cs.SLOMissed += weight
+					}
+				}
 			} else {
 				cs.Failed += weight
+				if deadline > 0 {
+					cs.SLOTotal += weight
+					cs.SLOMissed += weight
+				}
 			}
 		})
 	}

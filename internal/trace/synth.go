@@ -1,6 +1,9 @@
 package trace
 
-import "dbwlm/internal/sim"
+import (
+	"dbwlm/internal/policy"
+	"dbwlm/internal/sim"
+)
 
 // Synth builds a deterministic synthetic trace of the consolidation mix the
 // paper's introduction runs: a high-rate OLTP class of short transactions, a
@@ -22,6 +25,12 @@ func Synth(seed uint64, n int) (Header, []Row) {
 		case rng.Bool(0.96):
 			row.Class = 0
 			row.Flags = FlagRead
+			// OLTP ships with a percentile deadline, BI with a looser mean
+			// bound, ad-hoc best-effort — so replays (and their compressed
+			// stand-ins) score SLO attainment out of the box.
+			row.SLOKind = uint8(policy.SLOPercentileResponseTime)
+			row.SLOTarget = 0.020
+			row.SLOPct = 95
 			if rng.Bool(0.4) {
 				row.Flags = 0 // write txn
 				row.Locks = []Lock{{Key: int64(rng.Zipf(500, 1.2)), AtProgress: 0.1, Exclusive: true}}
@@ -34,6 +43,8 @@ func Synth(seed uint64, n int) (Header, []Row) {
 		case rng.Bool(0.5):
 			row.Class = 1
 			row.Flags = FlagRead
+			row.SLOKind = uint8(policy.SLOAvgResponseTime)
+			row.SLOTarget = 15
 			row.CPUWork = 0.5 + 1.0*rng.Float64()
 			row.IOWork = 50 + 150*rng.Float64()
 			row.MemMB = 256 + 256*rng.Float64()

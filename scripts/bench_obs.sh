@@ -2,18 +2,23 @@
 # bench_obs.sh — price the flight recorder on the admission hot paths and
 # record the result into BENCH_obs.json.
 #
-# Four configurations are measured, recorder off and on for each path:
+# Six configurations are measured — recorder off and on for each path, and
+# the SLO engine off and on for the live path:
 #   - BenchmarkLiveAdmit / BenchmarkLiveAdmitRecorded: the plain striped-gate
 #     admit+done cycle.
 #   - BenchmarkPredictAdmit / BenchmarkPredictAdmitRecorded: the wire-speed
 #     prediction pipeline on a plan-cache hit.
+#   - BenchmarkLiveAdmitSLO / BenchmarkLiveAdmitRecordedSLO: the same cycle
+#     with SLO deadline accounting (striped histogram + deadline compare).
 #
 # Acceptance gates (the script fails on violation):
 #   - recorder-off paths must not allocate, and the recorder-off predict
 #     admit must stay within 5% of the BENCH_predict.json baseline — the
 #     observability layer may not tax anyone who did not enable it;
 #   - recorder-on overhead must stay <= 250 ns/op and <= 1 alloc/op on both
-#     paths.
+#     paths;
+#   - the SLO engine must add <= 100 ns/op and zero allocations to the live
+#     admit+done cycle.
 # Run via `make bench-obs`.
 set -eu
 
@@ -29,7 +34,7 @@ if [ "${BENCH_SMP:-}" = "require" ] && [ "$NUM_CPU" -lt 2 ]; then
 fi
 
 OUT=$(go test -run '^$' \
-	-bench 'BenchmarkLiveAdmit$|BenchmarkLiveAdmitRecorded$|BenchmarkPredictAdmit$|BenchmarkPredictAdmitRecorded$' \
+	-bench 'BenchmarkLiveAdmit$|BenchmarkLiveAdmitRecorded$|BenchmarkPredictAdmit$|BenchmarkPredictAdmitRecorded$|BenchmarkLiveAdmitSLO$|BenchmarkLiveAdmitRecordedSLO$' \
 	-benchmem -benchtime 200000x -count 3 ./internal/rt/)
 
 metric() { # metric <benchmark-name> <field: ns/op|allocs/op>; best of -count runs
@@ -48,10 +53,14 @@ PRED_OFF_NS=$(metric "BenchmarkPredictAdmit" "ns/op")
 PRED_OFF_ALLOCS=$(metric "BenchmarkPredictAdmit" "allocs/op")
 PRED_ON_NS=$(metric "BenchmarkPredictAdmitRecorded" "ns/op")
 PRED_ON_ALLOCS=$(metric "BenchmarkPredictAdmitRecorded" "allocs/op")
+SLO_NS=$(metric "BenchmarkLiveAdmitSLO" "ns/op")
+SLO_ALLOCS=$(metric "BenchmarkLiveAdmitSLO" "allocs/op")
+SLO_REC_NS=$(metric "BenchmarkLiveAdmitRecordedSLO" "ns/op")
+SLO_REC_ALLOCS=$(metric "BenchmarkLiveAdmitRecordedSLO" "allocs/op")
 NUM_CPU=$(nproc 2>/dev/null || echo 1)
 GMP=${GOMAXPROCS:-$NUM_CPU}
 
-for v in "$LIVE_OFF_NS" "$LIVE_ON_NS" "$PRED_OFF_NS" "$PRED_ON_NS"; do
+for v in "$LIVE_OFF_NS" "$LIVE_ON_NS" "$PRED_OFF_NS" "$PRED_ON_NS" "$SLO_NS" "$SLO_REC_NS"; do
 	if [ -z "$v" ]; then
 		echo "bench_obs: missing benchmark output" >&2
 		printf '%s\n' "$OUT" >&2
@@ -98,6 +107,24 @@ check_overhead() { # check_overhead <name> <off-ns> <on-ns> <on-allocs>
 LIVE_DELTA=$(check_overhead "live admit" "$LIVE_OFF_NS" "$LIVE_ON_NS" "$LIVE_ON_ALLOCS")
 PRED_DELTA=$(check_overhead "predict admit" "$PRED_OFF_NS" "$PRED_ON_NS" "$PRED_ON_ALLOCS")
 
+# Gate 4: the SLO engine adds <= 100 ns and nothing to the heap on the live
+# admit+done cycle (recorder off), and stays allocation-free with the
+# recorder on too.
+SLO_DELTA=$(awk -v on="$SLO_NS" -v off="$LIVE_OFF_NS" 'BEGIN { printf "%.1f", on - off }')
+if [ "$(awk -v d="$SLO_DELTA" 'BEGIN { print (d > 100) ? 1 : 0 }')" = "1" ]; then
+	echo "bench_obs: slo engine overhead on live admit is $SLO_DELTA ns/op, budget 100" >&2
+	exit 1
+fi
+if [ "$SLO_ALLOCS" != "0" ]; then
+	echo "bench_obs: slo-on live admit allocates $SLO_ALLOCS allocs/op, want 0" >&2
+	exit 1
+fi
+SLO_REC_DELTA=$(awk -v on="$SLO_REC_NS" -v off="$LIVE_ON_NS" 'BEGIN { printf "%.1f", on - off }')
+if [ "$(awk -v a="$SLO_REC_ALLOCS" -v base="$LIVE_ON_ALLOCS" 'BEGIN { print (a > base) ? 1 : 0 }')" = "1" ]; then
+	echo "bench_obs: slo adds allocations to the recorded admit ($SLO_REC_ALLOCS vs $LIVE_ON_ALLOCS allocs/op)" >&2
+	exit 1
+fi
+
 cat > BENCH_obs.json <<EOF
 {
   "benchmark": "flight-recorder cost on the admission hot paths (off vs on)",
@@ -117,6 +144,14 @@ cat > BENCH_obs.json <<EOF
     "on_ns_per_op": $PRED_ON_NS,
     "on_allocs_per_op": $PRED_ON_ALLOCS,
     "recorder_overhead_ns": $PRED_DELTA
+  },
+  "slo_live_admit": {
+    "on_ns_per_op": $SLO_NS,
+    "on_allocs_per_op": $SLO_ALLOCS,
+    "slo_overhead_ns": $SLO_DELTA,
+    "recorded_ns_per_op": $SLO_REC_NS,
+    "recorded_allocs_per_op": $SLO_REC_ALLOCS,
+    "recorded_slo_overhead_ns": $SLO_REC_DELTA
   }
 }
 EOF
