@@ -19,13 +19,17 @@ race:
 		./internal/slo/...
 
 # lint is the static-analysis gate: gofmt, go vet, and wlmlint — the suite
-# that machine-checks hotpath allocation-freedom, atomic field discipline,
-# replay determinism, and mutex guard contracts (DESIGN.md section 10).
+# that machine-checks hotpath allocation-freedom and non-blocking closure
+# over the call graph, atomic field discipline (direct and interprocedural),
+# lock-order cycle freedom, replay determinism, and mutex guard contracts
+# (DESIGN.md section 10). wlmlint parallelizes across GOMAXPROCS; set
+# LINT_JSON=1 for machine-readable findings.
 lint:
 	./scripts/lint.sh
 
-# verify is the tier-1 gate: build, lint, full tests, and a race pass over
-# the parallel experiment fan-out and the live runtime.
+# verify is the tier-1 gate: build, then the parallel lint gate before the
+# test suite (static findings are cheaper than test failures), full tests,
+# and a race pass over the parallel experiment fan-out and the live runtime.
 verify: build lint test race
 
 # bench records kernel performance (engine benchmark ns/op + allocs/op and

@@ -1,24 +1,29 @@
 // Command wlmlint runs dbwlm's in-tree static-analysis suite (internal/lint)
-// over the module: hotpath allocation checking, sync/atomic field discipline,
-// determinism linting, guarded-field verification, and the AllocsPerRun
-// coupling check. It exits 1 when any diagnostic survives suppression, so it
-// slots directly into make lint / make verify.
+// over the module: hotpath allocation checking (intra-procedural and across
+// the whole static call graph), sync/atomic field discipline (direct and
+// through helpers), determinism linting, guarded-field verification, global
+// lock-order cycle detection, and the AllocsPerRun coupling check.
 //
 // Usage:
 //
-//	wlmlint [-json] [-run hotpath,detlint] [packages]
+//	wlmlint [-json] [-run hotpath,detlint] [-workers n] [-time] [packages]
 //
 // Package arguments filter reporting ("./...", "./internal/rt",
 // "internal/sim/..."); analysis always covers the whole module because the
 // facts the analyzers share are cross-package.
+//
+// Exit codes: 0 clean, 1 diagnostics reported, 2 the module failed to load
+// (parse or type error) — so CI can tell "found findings" from "could not
+// analyze".
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"time"
 
 	"dbwlm/internal/lint"
 )
@@ -27,9 +32,11 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	run := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	dir := flag.String("C", ".", "directory inside the module to analyze")
+	workers := flag.Int("workers", 0, "analysis parallelism (0 = GOMAXPROCS); output is identical at any setting")
+	timing := flag.Bool("time", false, "report wall time to stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
-			"usage: wlmlint [-json] [-run names] [-C dir] [packages]\n\nanalyzers:\n")
+			"usage: wlmlint [-json] [-run names] [-C dir] [-workers n] [-time] [packages]\n\nanalyzers:\n")
 		for _, a := range lint.Analyzers {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %-14s %s\n", a.Name, a.Doc)
 		}
@@ -42,23 +49,30 @@ func main() {
 		analyzers = strings.Split(*run, ",")
 	}
 
+	start := time.Now()
 	m, err := lint.LoadModule(*dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wlmlint:", err)
 		os.Exit(2)
 	}
+	loaded := time.Now()
 	diags := lint.Run(m, lint.Options{
 		Analyzers: analyzers,
 		Packages:  flag.Args(),
+		Workers:   *workers,
 	})
+	if *timing {
+		n := *workers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		fmt.Fprintf(os.Stderr, "wlmlint: %d packages loaded in %v, analyzed in %v (%d workers)\n",
+			len(m.Pkgs), loaded.Sub(start).Round(time.Millisecond),
+			time.Since(loaded).Round(time.Millisecond), n)
+	}
 
 	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
-		}
-		if err := enc.Encode(diags); err != nil {
+		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
 			fmt.Fprintln(os.Stderr, "wlmlint:", err)
 			os.Exit(2)
 		}

@@ -14,6 +14,11 @@ import (
 //	//dbwlm:deterministic      in a package comment: detlint applies
 //	//dbwlm:sorted             on a map range whose order is laundered later
 //	//dbwlm:locked <mu>        on a function: callers must hold <mu>
+//	//dbwlm:dyncall -- <reason>          on a dynamic call (or the declaration
+//	                                     of the function-typed field/var it goes
+//	                                     through): the unknowable targets are
+//	                                     asserted hotpath-safe; the reason is
+//	                                     required (the injected-clock pattern)
 //	//dbwlm:nolint <names> -- <reason>   suppress named analyzers on this or
 //	                                     the next line; the reason is required
 //
@@ -27,6 +32,15 @@ type suppression struct {
 	analyzers map[string]bool
 	reason    string
 	used      bool
+}
+
+// dynDirective is one parsed //dbwlm:dyncall comment. It trusts dynamic calls
+// on its own line and the line below it — either the call itself, or the
+// declaration of the function-typed field/var the call dispatches through.
+type dynDirective struct {
+	line   int
+	reason string
+	used   bool
 }
 
 const dirPrefix = "//dbwlm:"
@@ -107,6 +121,13 @@ func (m *Module) scanDirectives() {
 							continue
 						}
 						f.suppress = append(f.suppress, s)
+					case "dyncall":
+						reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), "--"))
+						if !strings.Contains(rest, "--") || reason == "" {
+							m.dirDiag(c.Pos(), "//dbwlm:dyncall needs a justification: //dbwlm:dyncall -- <reason>")
+							continue
+						}
+						f.dyn = append(f.dyn, dynDirective{line: line, reason: reason})
 					case "hotpath", "deterministic", "locked":
 						if !consumed[c] {
 							m.dirDiag(c.Pos(), "misplaced //dbwlm:"+verb+

@@ -1,0 +1,243 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AtomicMix is the interprocedural half of the atomic-field discipline.
+// AtomicField sees fields whose address is passed to sync/atomic directly
+// (atomic.AddInt64(&s.f, 1)); this analyzer sees the ones laundered through
+// helpers:
+//
+//	func bump(p *int64) { atomic.AddInt64(p, 1) }
+//	...
+//	bump(&s.hits)   // s.hits is now an atomic field
+//	s.hits++        // ← data race, flagged here — even from another package
+//
+// A fixpoint over the module marks every pointer parameter and local that
+// transitively reaches a sync/atomic call (bump's p above, and any parameter
+// forwarded into bump). A field whose address flows into such a variable
+// joins the atomic set, and from then on every plain access to it anywhere in
+// the module is a diagnostic — except inside a constructor of the owning
+// type, where the value has not yet been published and plain initialization
+// is the idiom (a constructor is any function whose results include T or *T).
+// Fields AtomicField already tracks are excluded so each finding is reported
+// by exactly one analyzer.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields reaching sync/atomic through helpers must be accessed atomically outside their constructor",
+	Run: func(m *Module, pkg *Package) []Diagnostic {
+		return m.preDiags["atomicmix"][pkg]
+	},
+}
+
+// runAtomicMix performs the module-wide flow analysis once, at fact-build
+// time.
+func (m *Module) runAtomicMix() {
+	// Collect every call in the module once, in deterministic order.
+	type callRec struct {
+		pkg  *Package
+		call *ast.CallExpr
+		fn   *types.Func
+	}
+	var calls []callRec
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if fn := calleeOf(pkg.Info, call); fn != nil {
+						calls = append(calls, callRec{pkg, call, fn})
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// paramAt resolves a call argument index to the callee's parameter
+	// variable; the variadic tail is skipped (atomic helpers don't take
+	// ...*int64, and tracking slices of pointers is beyond best-effort).
+	paramAt := func(fn *types.Func, i int) *types.Var {
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			return nil
+		}
+		if sig.Variadic() && i >= sig.Params().Len()-1 {
+			return nil
+		}
+		if i >= sig.Params().Len() {
+			return nil
+		}
+		return sig.Params().At(i)
+	}
+	identVar := func(pkg *Package, e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, _ := objOf(pkg.Info, id).(*types.Var)
+		return v
+	}
+
+	// Pass 1: fixpoint over pointer-carrying variables that reach
+	// sync/atomic. Seeded by atomic calls whose address argument is a plain
+	// variable; propagated caller-ward through module call arguments.
+	fwd := make(map[*types.Var]string) // var -> helper path it reaches atomic through
+	for changed := true; changed; {
+		changed = false
+		for _, c := range calls {
+			switch {
+			case c.fn.Pkg() != nil && c.fn.Pkg().Path() == "sync/atomic" && len(c.call.Args) > 0:
+				if v := identVar(c.pkg, c.call.Args[0]); v != nil && fwd[v] == "" {
+					fwd[v] = "sync/atomic." + c.fn.Name()
+					changed = true
+				}
+			case m.isModuleFunc(c.fn):
+				for i, arg := range c.call.Args {
+					p := paramAt(c.fn, i)
+					if p == nil || fwd[p] == "" {
+						continue
+					}
+					if v := identVar(c.pkg, arg); v != nil && fwd[v] == "" {
+						fwd[v] = m.funcName(c.fn)
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	if len(fwd) == 0 {
+		return
+	}
+
+	// Pass 2: fields whose address flows into a forwarding variable — as a
+	// call argument (bump(&s.f)) or by assignment (p := &s.f; bump(p)). The
+	// flow site itself is a legal access.
+	mixFld := make(map[*types.Var]string)            // field -> helper it reaches atomic through
+	mixOwner := make(map[*types.Var]*types.TypeName) // field -> owning named type
+	legal := make(map[ast.Node]bool)
+	register := func(pkg *Package, e ast.Expr, via string) {
+		un, ok := ast.Unparen(e).(*ast.UnaryExpr)
+		if !ok || un.Op.String() != "&" {
+			return
+		}
+		sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		v, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+		if !ok || !v.IsField() || m.atomicFld[v] {
+			return // direct atomic fields are AtomicField's beat
+		}
+		legal[sel] = true
+		if mixFld[v] != "" {
+			return
+		}
+		mixFld[v] = via
+		t := typeOfExpr(pkg.Info, sel.X)
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			mixOwner[v] = named.Obj()
+		}
+	}
+	for _, c := range calls {
+		if !m.isModuleFunc(c.fn) {
+			continue
+		}
+		for i, arg := range c.call.Args {
+			if p := paramAt(c.fn, i); p != nil && fwd[p] != "" {
+				register(c.pkg, arg, m.funcName(c.fn))
+			}
+		}
+	}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for i, lhs := range n.Lhs {
+						if i >= len(n.Rhs) {
+							break
+						}
+						if v := identVar(pkg, lhs); v != nil && fwd[v] != "" {
+							register(pkg, n.Rhs[i], fwd[v])
+						}
+					}
+				case *ast.ValueSpec:
+					for i, name := range n.Names {
+						if i >= len(n.Values) {
+							break
+						}
+						if v, ok := objOf(pkg.Info, name).(*types.Var); ok && fwd[v] != "" {
+							register(pkg, n.Values[i], fwd[v])
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(mixFld) == 0 {
+		return
+	}
+
+	// Pass 3: flag plain accesses, exempting constructors of the owning type.
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Ast.Decls {
+				fd, _ := decl.(*ast.FuncDecl)
+				var ctorOf map[*types.TypeName]bool
+				if fd != nil {
+					ctorOf = constructedTypes(pkg, fd)
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					sel, ok := n.(*ast.SelectorExpr)
+					if !ok || legal[sel] || m.atomicUse[sel] {
+						return true
+					}
+					v, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+					if !ok || !v.IsField() || mixFld[v] == "" {
+						return true
+					}
+					if owner := mixOwner[v]; owner != nil && ctorOf[owner] {
+						return true
+					}
+					m.addPreDiag("atomicmix", pkg, m.diag("atomicmix", sel.Pos(),
+						"plain access to field %s, whose address reaches sync/atomic through %s — access it atomically, or initialize it inside the constructor",
+						v.Name(), mixFld[v]))
+					return true
+				})
+			}
+		}
+	}
+}
+
+// constructedTypes reports the named types a function constructs: every named
+// type (or pointer to one) among its results.
+func constructedTypes(pkg *Package, fd *ast.FuncDecl) map[*types.TypeName]bool {
+	fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+	if fn == nil {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var out map[*types.TypeName]bool
+	for i := 0; i < sig.Results().Len(); i++ {
+		t := sig.Results().At(i).Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			if out == nil {
+				out = make(map[*types.TypeName]bool)
+			}
+			out[named.Obj()] = true
+		}
+	}
+	return out
+}

@@ -35,6 +35,11 @@ func (m *Module) buildFacts() {
 			})
 		}
 	}
+	m.cg = m.buildCallGraph()
+	m.runHotClosure()
+	m.runLockOrder()
+	m.runAtomicMix()
+	m.sortPreDiags()
 }
 
 // recordAtomicCall notes fields whose address is passed to a sync/atomic

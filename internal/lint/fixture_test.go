@@ -113,9 +113,15 @@ func TestFixtures(t *testing.T) {
 		byLine[key(w.file, w.line)] = append(byLine[key(w.file, w.line)], w)
 	}
 	for _, d := range diags {
+		// Patterns match against the message plus the rendered witness chain,
+		// so fixtures can pin the chain text interprocedural findings print.
+		text := d.Message
+		if len(d.Chain) > 0 {
+			text += " chain: " + strings.Join(d.Chain, " -> ")
+		}
 		matched := false
 		for _, w := range byLine[key(d.File, d.Line)] {
-			if w.re.MatchString(d.Message) {
+			if w.re.MatchString(text) {
 				w.matched = true
 				matched = true
 			}

@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// HotClosure lifts the hotpath contract across function boundaries: every
+// function transitively reachable from a //dbwlm:hotpath root — through
+// direct calls, method values, function-typed fields, and CHA-resolved
+// interface dispatch (callgraph.go) — must be allocation-free AND
+// non-blocking. Blocking constructs flagged anywhere on a hot closure:
+//
+//   - sync lock acquisition (Mutex/RWMutex Lock and RLock), sync.WaitGroup
+//     and sync.Cond Wait, sync.Once.Do, and any sync.Map method (its slow
+//     path takes an internal mutex)
+//   - channel sends, receives, selects, and ranges over channels
+//   - time.Sleep and the timer constructors (After, Tick, NewTimer,
+//     NewTicker)
+//   - calls into I/O packages (os, io, bufio, net, syscall, os/exec,
+//     database/sql, log, and fmt's writer-printing half) and into reflect
+//   - calls through function values whose target set cannot be resolved
+//     from observed value flow, unless the call or the function-typed
+//     declaration it dispatches through carries //dbwlm:dyncall -- <reason>
+//
+// Functions reached only through dynamic edges are usually not annotated
+// //dbwlm:hotpath themselves (the intra-procedural analyzer cannot see
+// them); hotclosure re-runs the allocation checks over those, so a closure
+// handed to a hot loop is held to the same standard as the loop. Every
+// diagnostic prints the witness call chain from the annotated root to the
+// function holding the offending statement.
+//
+// Trust boundary: bodies of standard-library functions are never analyzed —
+// the hotAllowedPkgs/hotAllowedFuncs allowlists in hotpath.go are the audited
+// assertion that their call surface neither allocates nor blocks, and
+// allowlisted packages that call back through interfaces they are handed
+// (container/heap) re-enter the closure only via the CHA edges at the module
+// call sites that constructed those values.
+var HotClosure = &Analyzer{
+	Name: "hotclosure",
+	Doc:  "functions reachable from //dbwlm:hotpath roots must be alloc-free and non-blocking",
+	Run: func(m *Module, pkg *Package) []Diagnostic {
+		return m.preDiags["hotclosure"][pkg]
+	},
+}
+
+// ioPkgs are standard-library packages whose calls mean I/O (or reflection):
+// never acceptable on a hot closure.
+var ioPkgs = map[string]bool{
+	"os": true, "io": true, "io/fs": true, "io/ioutil": true, "bufio": true,
+	"net": true, "net/http": true, "syscall": true, "os/exec": true,
+	"os/signal": true, "database/sql": true, "log": true, "log/slog": true,
+	"reflect": true, "runtime/pprof": true,
+}
+
+// runHotClosure performs the module-wide closure analysis once, at fact-build
+// time, distributing diagnostics to the packages that anchor them.
+func (m *Module) runHotClosure() {
+	g := m.cg
+	if g == nil {
+		return
+	}
+	// Seed the BFS with every annotated root, in deterministic order.
+	var roots []*cgNode
+	for _, n := range g.all {
+		if n.fn != nil && m.hot[n.fn] {
+			roots = append(roots, n)
+		}
+	}
+	parent := make(map[*cgNode]*cgNode)
+	reached := make(map[*cgNode]bool)
+	queue := make([]*cgNode, 0, len(roots))
+	for _, r := range roots {
+		reached[r] = true
+		queue = append(queue, r)
+	}
+	// A //dbwlm:nolint hotclosure on a call line prunes traversal through
+	// that edge: one reasoned suppression at the boundary where a hot path
+	// deliberately enters slow-path code silences the whole subtree, instead
+	// of demanding a waiver on every leaf statement beneath it.
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.edges {
+			if reached[e.to] || m.suppressedAt("hotclosure", e.pos) {
+				continue
+			}
+			reached[e.to] = true
+			parent[e.to] = n
+			queue = append(queue, e.to)
+		}
+	}
+
+	seen := make(map[string]bool) // dedup key: file:line:col:message
+	emitAll := func(pkg *Package, ds []Diagnostic) {
+		for _, d := range ds {
+			key := fmt.Sprintf("%s:%d:%d:%s", d.File, d.Line, d.Col, d.Message)
+			if !seen[key] {
+				seen[key] = true
+				m.addPreDiag("hotclosure", pkg, d)
+			}
+		}
+	}
+	emit := func(n *cgNode, d Diagnostic) {
+		d.Chain = chainTo(parent, n)
+		key := fmt.Sprintf("%s:%d:%d:%s", d.File, d.Line, d.Col, d.Message)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		m.addPreDiag("hotclosure", n.pkg, d)
+	}
+
+	for _, n := range g.all {
+		if !reached[n] {
+			continue
+		}
+		for _, d := range m.blockDiags(n) {
+			emit(n, d)
+		}
+		for _, dyn := range n.dyn {
+			if dyn.justified {
+				continue
+			}
+			emit(n, m.diag("hotclosure", dyn.pos,
+				"call through function value %s with unresolvable targets on a hot closure (resolve it, or justify with //dbwlm:dyncall -- <reason> on the call or the declaration it dispatches through)",
+				dyn.expr))
+		}
+		// Allocation checks for bodies the intra-procedural hotpath analyzer
+		// never saw: declared functions without the annotation, and literals
+		// whose enclosing function is neither annotated nor reachable (a
+		// reachable or annotated owner already walked the literal's body).
+		switch {
+		case n.fn != nil && !m.hot[n.fn]:
+			w := &hotWalker{m: m, pkg: n.pkg, fn: n.fn, analyzer: "hotclosure", chain: chainTo(parent, n)}
+			w.prepass(n.body)
+			w.walk(n.body)
+			emitAll(n.pkg, w.diags)
+		case n.lit != nil:
+			owner := g.owners[n.lit]
+			if owner != nil && (reached[owner] || owner.fn != nil && m.hot[owner.fn]) {
+				break
+			}
+			w := &hotWalker{m: m, pkg: n.pkg, analyzer: "hotclosure", chain: chainTo(parent, n)}
+			w.prepass(n.body)
+			w.walk(n.body)
+			emitAll(n.pkg, w.diags)
+		}
+	}
+}
+
+// chainTo reconstructs the witness chain root -> ... -> n.
+func chainTo(parent map[*cgNode]*cgNode, n *cgNode) []string {
+	var rev []string
+	for c := n; c != nil; c = parent[c] {
+		rev = append(rev, c.name)
+	}
+	chain := make([]string, len(rev))
+	for i := range rev {
+		chain[i] = rev[len(rev)-1-i]
+	}
+	return chain
+}
+
+// blockDiags scans one node's own statements for blocking constructs.
+func (m *Module) blockDiags(n *cgNode) []Diagnostic {
+	var diags []Diagnostic
+	errf := func(pos token.Pos, format string, args ...any) {
+		diags = append(diags, m.diag("hotclosure", pos, format, args...))
+	}
+	info := n.pkg.Info
+	n.inspectOwn(func(x ast.Node) bool {
+		switch x := x.(type) {
+		case *ast.SendStmt:
+			errf(x.Pos(), "channel send blocks on a hot closure")
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				errf(x.Pos(), "channel receive blocks on a hot closure")
+			}
+		case *ast.SelectStmt:
+			errf(x.Pos(), "select blocks on a hot closure")
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[x.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					errf(x.Pos(), "range over channel blocks on a hot closure")
+				}
+			}
+		case *ast.CallExpr:
+			if d := blockingCall(info, x); d != "" {
+				errf(x.Pos(), "%s", d)
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// blockingCall classifies a call as blocking ("" when it is not).
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	fn := calleeOf(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	path, name := fn.Pkg().Path(), fn.Name()
+	switch path {
+	case "sync":
+		recv := syncRecvName(fn)
+		switch {
+		case name == "Lock" || name == "RLock":
+			return "sync." + recv + "." + name + " blocks on a hot closure"
+		case name == "Wait":
+			return "sync." + recv + ".Wait blocks on a hot closure"
+		case name == "Do" && recv == "Once":
+			return "sync.Once.Do blocks until the first call completes"
+		case recv == "Map":
+			return "sync.Map." + name + " may take its internal mutex on a hot closure"
+		}
+	case "time":
+		switch name {
+		case "Sleep":
+			return "time.Sleep blocks on a hot closure"
+		case "After", "Tick", "NewTimer", "NewTicker", "AfterFunc":
+			return "time." + name + " arms a timer on a hot closure"
+		}
+	case "fmt":
+		switch name {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return "fmt." + name + " performs I/O on a hot closure"
+		}
+	}
+	if ioPkgs[path] {
+		if path == "reflect" {
+			return "reflection (reflect." + name + ") on a hot closure"
+		}
+		return "I/O call " + fn.Pkg().Name() + "." + name + " on a hot closure"
+	}
+	return ""
+}
+
+// syncRecvName names the sync type a method hangs off ("Mutex", "Map", ...).
+func syncRecvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// addPreDiag stores a precomputed interprocedural diagnostic for pkg.
+func (m *Module) addPreDiag(analyzer string, pkg *Package, d Diagnostic) {
+	if m.preDiags == nil {
+		m.preDiags = make(map[string]map[*Package][]Diagnostic)
+	}
+	if m.preDiags[analyzer] == nil {
+		m.preDiags[analyzer] = make(map[*Package][]Diagnostic)
+	}
+	m.preDiags[analyzer][pkg] = append(m.preDiags[analyzer][pkg], d)
+}
+
+// sortPreDiags pins each package's precomputed findings to (file, line, col)
+// order so Run's output is stable regardless of traversal order.
+func (m *Module) sortPreDiags() {
+	for _, byPkg := range m.preDiags {
+		for _, ds := range byPkg {
+			sort.Slice(ds, func(i, j int) bool {
+				if ds[i].File != ds[j].File {
+					return ds[i].File < ds[j].File
+				}
+				if ds[i].Line != ds[j].Line {
+					return ds[i].Line < ds[j].Line
+				}
+				return ds[i].Col < ds[j].Col
+			})
+		}
+	}
+}

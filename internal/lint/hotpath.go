@@ -42,15 +42,37 @@ var HotPath = &Analyzer{
 }
 
 // hotAllowedPkgs are standard-library packages whose exported call surface
-// used by this codebase is allocation-free.
+// used by this codebase is allocation-free AND non-blocking. This allowlist
+// is the analyzers' trust boundary: standard-library bodies are never
+// analyzed, so an entry here is a human assertion, audited when added and
+// re-audited when the closure analyzer surfaces a new call site. Packages
+// that call back into module code through an interface (container/heap) do
+// not widen the boundary — the callback re-enters the closure through the
+// CHA edges at the module call sites that constructed the container.
 var hotAllowedPkgs = map[string]bool{
 	"sync/atomic":    true,
 	"math":           true,
-	"math/bits":      true,
 	"math/rand/v2":   true, // global funcs read per-thread runtime state
 	"unicode":        true,
-	"unicode/utf8":   true,
 	"container/heap": true, // operates in place over an interface it is handed
+}
+
+// hotAllowedFuncs are individually vetted allocation-free, non-blocking
+// standard-library functions and methods from packages too broad to
+// allowlist wholesale: monotonic-clock reads and pure time.Duration
+// arithmetic return stack scalars and never park. These make the injected-
+// clock pattern verifiable — the literal a //dbwlm:dyncall-justified clock
+// field resolves to is still analyzed, and its time.Since call lands here.
+var hotAllowedFuncs = map[string]bool{
+	"time.Now":          true,
+	"time.Since":        true,
+	"time.Until":        true,
+	"time.Nanoseconds":  true,
+	"time.Microseconds": true,
+	"time.Milliseconds": true,
+	"time.Seconds":      true,
+	"time.Minutes":      true,
+	"time.Hours":        true,
 }
 
 func runHotPath(m *Module, pkg *Package) []Diagnostic {
@@ -80,6 +102,13 @@ type hotWalker struct {
 	fn    *types.Func
 	diags []Diagnostic
 
+	// analyzer, when set, re-brands the walker for an interprocedural pass
+	// (hotclosure): findings carry that name and the witness chain, and the
+	// "calls non-hotpath" rule is skipped — the closure traversal descends
+	// into callees itself instead of demanding annotations on them.
+	analyzer string
+	chain    []string
+
 	callFun    map[ast.Node]bool     // expressions in call-Fun position
 	deferLit   map[ast.Node]bool     // FuncLits that are a defer's call
 	directOnly map[*ast.FuncLit]bool // closures bound to a var used only in call position
@@ -87,7 +116,13 @@ type hotWalker struct {
 }
 
 func (w *hotWalker) errf(pos token.Pos, format string, args ...any) {
-	w.diags = append(w.diags, w.m.diag("hotpath", pos, format, args...))
+	name := w.analyzer
+	if name == "" {
+		name = "hotpath"
+	}
+	d := w.m.diag(name, pos, format, args...)
+	d.Chain = w.chain
+	w.diags = append(w.diags, d)
 }
 
 // prepass records which expressions sit in call position, which closures are
@@ -212,10 +247,12 @@ func (w *hotWalker) checkCall(call *ast.CallExpr) {
 	case fn.Pkg() == nil:
 		// error.Error and other universe-scope methods.
 	case w.m.isModuleFunc(fn):
-		if !w.m.hot[fn] {
+		if !w.m.hot[fn] && w.analyzer == "" {
 			w.errf(call.Pos(), "hotpath function calls non-hotpath %s.%s",
 				fn.Pkg().Name(), fn.Name())
 		}
+	case hotAllowedFuncs[fn.Pkg().Path()+"."+fn.Name()]:
+		// An individually vetted allocation-free, non-blocking function.
 	case !hotAllowedPkgs[fn.Pkg().Path()]:
 		if fn.Pkg().Path() == "fmt" {
 			w.errf(call.Pos(), "fmt.%s in hotpath function allocates", fn.Name())

@@ -1,0 +1,20 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// WriteJSON renders diagnostics as an indented JSON array with a trailing
+// newline — the wlmlint -json wire format. The byte stream is a pure
+// function of the diagnostics: keys in declaration order, two-space indent,
+// empty input as []. Consumers (CI annotators, editors) may diff it
+// byte-for-byte; the golden test pins it.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}

@@ -1,9 +1,12 @@
-// Package lint is dbwlm's in-tree static-analysis suite: five analyzers over
+// Package lint is dbwlm's in-tree static-analysis suite: eight analyzers over
 // go/ast + go/types that machine-check the invariants the runtime's
-// correctness and performance rest on — zero-allocation hot paths, atomic
-// field discipline and 64-bit alignment, deterministic iteration in the
-// simulation/reporting packages, mutex-guarded field access, and the
-// coupling between AllocsPerRun tests and the hot paths they guard. The
+// correctness and performance rest on — zero-allocation, non-blocking hot
+// paths (checked intra-procedurally and across the whole static call graph),
+// atomic field discipline and 64-bit alignment (including interprocedural
+// mixed plain/atomic access), deterministic iteration in the
+// simulation/reporting packages, mutex-guarded field access, global
+// lock-ordering acyclicity, and the coupling between AllocsPerRun tests and
+// the hot paths they guard. The
 // driver (cmd/wlmlint) loads the whole module with full type information
 // using only the standard library, keeping go.mod dependency-free.
 //
@@ -14,21 +17,30 @@ package lint
 import (
 	"fmt"
 	"go/token"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Diagnostic is one finding, positioned in module-relative file coordinates.
+// Interprocedural findings carry the witness call chain from the annotated
+// root to the function holding the offending statement.
 type Diagnostic struct {
-	Analyzer string `json:"analyzer"`
-	File     string `json:"file"` // relative to the module root
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Message  string `json:"message"`
+	Analyzer string   `json:"analyzer"`
+	File     string   `json:"file"` // relative to the module root
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Message  string   `json:"message"`
+	Chain    []string `json:"chain,omitempty"`
 }
 
 func (d Diagnostic) String() string {
-	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	s := fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	if len(d.Chain) > 0 {
+		s += "\n\tchain: " + strings.Join(d.Chain, " -> ")
+	}
+	return s
 }
 
 // Analyzer is one check. Run inspects a single package; cross-package facts
@@ -42,9 +54,12 @@ type Analyzer struct {
 // Analyzers is the full suite, in reporting order.
 var Analyzers = []*Analyzer{
 	HotPath,
+	HotClosure,
 	AtomicField,
+	AtomicMix,
 	DetLint,
 	GuardedBy,
+	LockOrder,
 	NoEscapeTest,
 }
 
@@ -66,6 +81,10 @@ type Options struct {
 	// inspects the whole module — cross-package facts demand it — only the
 	// reporting is filtered. nil reports everything.
 	Packages []string
+	// Workers bounds the (analyzer, package) fan-out; 0 means GOMAXPROCS.
+	// Output is identical at any worker count: results land in indexed slots
+	// and every post-pass (suppression, sorting) runs sequentially.
+	Workers int
 }
 
 // Run executes the configured analyzers over the module and returns the
@@ -82,14 +101,54 @@ func Run(m *Module, opts Options) []Diagnostic {
 		wantAnalyzer = func(n string) bool { return set[n] }
 	}
 
-	var diags []Diagnostic
+	// Fan the (analyzer, package) grid across workers. Analyzer Run functions
+	// only read the module's shared fact tables, so they parallelize freely;
+	// everything order-sensitive (suppression marking, directive reporting,
+	// sorting) stays on this goroutine.
+	type cell struct {
+		a   *Analyzer
+		pkg *Package
+	}
+	var work []cell
 	for _, a := range Analyzers {
 		if !wantAnalyzer(a.Name) {
 			continue
 		}
 		for _, pkg := range m.Pkgs {
-			diags = append(diags, a.Run(m, pkg)...)
+			work = append(work, cell{a, pkg})
 		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(work) {
+		workers = max(len(work), 1)
+	}
+	results := make([][]Diagnostic, len(work))
+	var next int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := int(next)
+				next++
+				mu.Unlock()
+				if i >= len(work) {
+					return
+				}
+				results[i] = work[i].a.Run(m, work[i].pkg)
+			}
+		}()
+	}
+	wg.Wait()
+	var diags []Diagnostic
+	for _, ds := range results {
+		diags = append(diags, ds...)
 	}
 
 	// Apply suppressions: a //dbwlm:nolint comment silences matching
@@ -116,6 +175,17 @@ func Run(m *Module, opts Options) []Diagnostic {
 							Line:     f.suppress[i].line,
 							Col:      1,
 							Message:  "unused //dbwlm:nolint suppression (nothing it suppresses fires here)",
+						})
+					}
+				}
+				for i := range f.dyn {
+					if !f.dyn[i].used {
+						diags = append(diags, Diagnostic{
+							Analyzer: "directive",
+							File:     m.relFile(f.Name),
+							Line:     f.dyn[i].line,
+							Col:      1,
+							Message:  "unused //dbwlm:dyncall justification (no unresolved dynamic call dispatches through here)",
 						})
 					}
 				}
@@ -227,4 +297,23 @@ func (m *Module) absFile(rel string) string {
 		return rel
 	}
 	return m.Dir + "/" + rel
+}
+
+// suppressedAt reports whether a //dbwlm:nolint for analyzer covers pos,
+// marking the suppression used. Interprocedural analyzers use it to prune
+// traversal at suppressed call sites.
+func (m *Module) suppressedAt(analyzer string, pos token.Pos) bool {
+	p := m.Fset.Position(pos)
+	f := m.byFile[p.Filename]
+	if f == nil {
+		return false
+	}
+	for i := range f.suppress {
+		s := &f.suppress[i]
+		if (s.line == p.Line || s.line == p.Line-1) && s.analyzers[analyzer] {
+			s.used = true
+			return true
+		}
+	}
+	return false
 }

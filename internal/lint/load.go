@@ -10,9 +10,11 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // This file loads an entire module — every package, including in-package and
@@ -48,7 +50,8 @@ type File struct {
 	Test bool // a _test.go file
 
 	suppress []suppression
-	sorted   map[int]bool // lines carrying //dbwlm:sorted
+	dyn      []dynDirective // //dbwlm:dyncall trust grants
+	sorted   map[int]bool   // lines carrying //dbwlm:sorted
 }
 
 // Module is the fully loaded analysis unit: every package of one Go module,
@@ -71,6 +74,11 @@ type Module struct {
 	atomicFld map[*types.Var]bool    // fields passed to sync/atomic functions
 	atomicUse map[ast.Node]bool      // selector nodes that ARE atomic accesses
 	guarded   map[*types.Var]string  // field -> sibling mutex field name
+
+	// Interprocedural layer (callgraph.go): the module-wide call graph and
+	// the per-package findings the module-level analyzers precompute from it.
+	cg       *callGraph
+	preDiags map[string]map[*Package][]Diagnostic
 }
 
 // LoadModule walks up from dir to the enclosing go.mod and loads every
@@ -125,19 +133,68 @@ func Load(root, modPath string) (*Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pkgs []*Package
-	for _, dir := range dirs {
-		ps, err := m.parseDir(dir)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, ps...)
+	pkgs, err := m.parseDirs(dirs)
+	if err != nil {
+		return nil, err
 	}
 	order, err := topoSort(pkgs)
 	if err != nil {
 		return nil, err
 	}
+	if err := m.checkAll(order); err != nil {
+		return nil, err
+	}
+	m.scanDirectives()
+	m.buildFacts()
+	return m, nil
+}
 
+// parseDirs parses every package directory across loadWorkers() goroutines.
+// token.FileSet serializes AddFile internally, so one shared FileSet is safe;
+// results are merged back in directory order, keeping every downstream
+// structure (package lists, byFile) deterministic.
+func (m *Module) parseDirs(dirs []string) ([]*Package, error) {
+	type parsed struct {
+		pkgs []*Package
+		err  error
+	}
+	results := make([]parsed, len(dirs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, loadWorkers())
+	for i, dir := range dirs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, dir string) {
+			defer func() { <-sem; wg.Done() }()
+			ps, err := m.parseDir(dir)
+			results[i] = parsed{pkgs: ps, err: err}
+		}(i, dir)
+	}
+	wg.Wait()
+	var pkgs []*Package
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+		for _, p := range r.pkgs {
+			for _, f := range p.Files {
+				m.byFile[f.Name] = f
+			}
+		}
+		pkgs = append(pkgs, r.pkgs...)
+	}
+	return pkgs, nil
+}
+
+// checkAll type-checks the topologically ordered packages with as much
+// parallelism as the import DAG allows: a package is scheduled the moment its
+// last module-internal dependency completes. The shared source importer —
+// the one mutable structure — is serialized behind a mutex in modImporter;
+// completed internal packages are read without locking, which is safe because
+// the scheduler orders every dependency's completion before its dependents
+// start. m.Pkgs is rebuilt in topological order afterwards, so the result is
+// identical to a sequential load.
+func (m *Module) checkAll(order []*Package) error {
 	// The source importer type-checks standard-library dependencies from
 	// GOROOT source; with cgo disabled every package (net included) has a
 	// pure-Go variant, so no C toolchain is ever consulted.
@@ -146,31 +203,114 @@ func Load(root, modPath string) (*Module, error) {
 	imp := &modImporter{m: m, std: std}
 	sizes := types.SizesFor("gc", build.Default.GOARCH)
 	for _, p := range order {
-		conf := types.Config{Importer: imp, Sizes: sizes}
-		info := &types.Info{
-			Types:      make(map[ast.Expr]types.TypeAndValue),
-			Defs:       make(map[*ast.Ident]types.Object),
-			Uses:       make(map[*ast.Ident]types.Object),
-			Selections: make(map[*ast.SelectorExpr]*types.Selection),
-			Implicits:  make(map[ast.Node]types.Object),
-		}
-		files := make([]*ast.File, len(p.Files))
-		for i, f := range p.Files {
-			files[i] = f.Ast
-		}
-		tpkg, err := conf.Check(p.Path, m.Fset, files, info)
-		if err != nil {
-			return nil, fmt.Errorf("lint: type-checking %s: %w", p.Path, err)
-		}
-		p.Types, p.Info = tpkg, info
 		if !p.IsXTest {
 			m.byPath[p.Path] = p
 		}
-		m.Pkgs = append(m.Pkgs, p)
 	}
-	m.scanDirectives()
-	m.buildFacts()
-	return m, nil
+
+	// Dependency counts over module-internal edges only.
+	waiting := make(map[*Package]int, len(order))
+	dependents := make(map[*Package][]*Package)
+	for _, p := range order {
+		for ip := range p.imports {
+			if dep := m.byPath[ip]; dep != nil && dep != p {
+				waiting[p]++
+				dependents[dep] = append(dependents[dep], p)
+			}
+		}
+	}
+
+	var (
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		errs   = make(map[*Package]error)
+		failed = make(map[*Package]bool)
+	)
+	sem := make(chan struct{}, loadWorkers())
+	var schedule func(p *Package)
+	finish := func(p *Package, err error) {
+		mu.Lock()
+		if err != nil {
+			errs[p] = err
+			failed[p] = true
+		}
+		var next []*Package
+		for _, d := range dependents[p] {
+			if failed[p] {
+				failed[d] = true // poisoned: its import would fail anyway
+			}
+			waiting[d]--
+			if waiting[d] == 0 {
+				next = append(next, d)
+			}
+		}
+		mu.Unlock()
+		for _, d := range next {
+			schedule(d)
+		}
+		wg.Done()
+	}
+	schedule = func(p *Package) {
+		wg.Add(1)
+		go func() {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			poisoned := failed[p]
+			mu.Unlock()
+			if poisoned {
+				finish(p, nil)
+				return
+			}
+			finish(p, m.checkOne(p, imp, sizes))
+		}()
+	}
+	for _, p := range order {
+		if waiting[p] == 0 {
+			schedule(p)
+		}
+	}
+	wg.Wait()
+
+	// Report the first failure in topological order — the root cause, not a
+	// cascade — and rebuild Pkgs deterministically.
+	for _, p := range order {
+		if err := errs[p]; err != nil {
+			return err
+		}
+	}
+	m.Pkgs = append(m.Pkgs, order...)
+	return nil
+}
+
+// checkOne type-checks a single parsed package.
+func (m *Module) checkOne(p *Package, imp types.Importer, sizes types.Sizes) error {
+	conf := types.Config{Importer: imp, Sizes: sizes}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	files := make([]*ast.File, len(p.Files))
+	for i, f := range p.Files {
+		files[i] = f.Ast
+	}
+	tpkg, err := conf.Check(p.Path, m.Fset, files, info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", p.Path, err)
+	}
+	p.Types, p.Info = tpkg, info
+	return nil
+}
+
+// loadWorkers is the loader's parallelism, GOMAXPROCS-bounded.
+func loadWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 1
 }
 
 // packageDirs lists every directory under root holding .go files, skipping
@@ -249,7 +389,6 @@ func (m *Module) parseDir(dir string) ([]*Package, error) {
 			base.Name = af.Name.Name
 		}
 		p.Files = append(p.Files, f)
-		m.byFile[full] = f
 	}
 	var out []*Package
 	for _, p := range []*Package{base, xtest} {
@@ -313,10 +452,14 @@ func topoSort(pkgs []*Package) ([]*Package, error) {
 
 // modImporter resolves module-internal imports from the packages loaded so
 // far and delegates everything else (the standard library) to the source
-// importer.
+// importer. Internal lookups are lock-free — the scheduler guarantees a
+// dependency's Types is published before any dependent starts — but the
+// source importer's internal cache is not concurrency-safe, so stdlib
+// imports are serialized.
 type modImporter struct {
-	m   *Module
-	std types.Importer
+	m     *Module
+	std   types.Importer
+	stdMu sync.Mutex
 }
 
 func (i *modImporter) Import(path string) (*types.Package, error) {
@@ -326,6 +469,8 @@ func (i *modImporter) Import(path string) (*types.Package, error) {
 		}
 		return nil, fmt.Errorf("lint: internal package %s not loaded yet", path)
 	}
+	i.stdMu.Lock()
+	defer i.stdMu.Unlock()
 	return i.std.Import(path)
 }
 

@@ -1,0 +1,41 @@
+// Package atomicmix exercises the interprocedural atomic-discipline
+// analyzer: fields whose address reaches sync/atomic through helper
+// functions (one hop, two hops, or via a local pointer) must be accessed
+// atomically everywhere — except inside a constructor of the owning type.
+package atomicmix
+
+import "sync/atomic"
+
+type Stats struct {
+	Hits int64 // exported: package atomicmixuse proves the cross-package half
+	miss int64
+	cold int64 // never reaches sync/atomic: plain access stays legal
+}
+
+func bump(p *int64) { atomic.AddInt64(p, 1) }
+
+// forward proves the fixpoint crosses more than one frame.
+func forward(p *int64) { bump(p) }
+
+// New is a constructor of Stats: plain initialization is the idiom here.
+func New() *Stats {
+	s := &Stats{}
+	s.miss = 0
+	s.Hits = 0
+	return s
+}
+
+func (s *Stats) Hit()  { bump(&s.Hits) }
+func (s *Stats) Miss() { forward(&s.miss) }
+
+// MissPtr reaches the atomic through a local pointer variable.
+func (s *Stats) MissPtr() {
+	p := &s.miss
+	bump(p)
+}
+
+func (s *Stats) Total() int64 {
+	s.cold++
+	return s.Hits + // want `plain access to field Hits, whose address reaches sync/atomic through atomicmix.bump`
+		s.miss // want `plain access to field miss, whose address reaches sync/atomic through atomicmix.forward`
+}

@@ -1,0 +1,10 @@
+// Package atomicmixuse proves the atomic-mix discipline crosses package
+// boundaries: Hits became atomic inside package atomicmix, so a plain read
+// here is flagged too.
+package atomicmixuse
+
+import "fix/atomicmix"
+
+func Report(s *atomicmix.Stats) int64 {
+	return s.Hits // want `plain access to field Hits, whose address reaches sync/atomic through atomicmix.bump`
+}

@@ -1,0 +1,93 @@
+// Package hotclosure exercises the interprocedural hot-closure analyzer:
+// blocking constructs and allocations reached from a //dbwlm:hotpath root
+// through direct calls, function-typed fields, and interface dispatch, with
+// the witness chain printed; //dbwlm:dyncall justifications as the escape
+// hatch for injected behavior.
+package hotclosure
+
+import "time"
+
+// Blocking three frames below the annotated root: the closure carries the
+// chain root -> mid -> leaf to the offending statements.
+//
+//dbwlm:hotpath
+func root() {
+	mid() // want `hotpath function calls non-hotpath hotclosure.mid`
+}
+
+func mid() { leaf() }
+
+func leaf() {
+	time.Sleep(time.Millisecond) // want `time.Sleep blocks on a hot closure` `chain: hotclosure.root -> hotclosure.mid -> hotclosure.leaf`
+	buf := make([]byte, 16)      // want `make in hotpath function allocates`
+	_ = buf
+}
+
+// ticker is the injected-clock pattern: now is swapped by tests, so its call
+// is unresolvable but justified; cb carries no justification and is flagged.
+type ticker struct {
+	//dbwlm:dyncall -- injected clock: tests install a virtual clock, production installs a monotonic reader
+	now func() int64
+
+	cb func(int)
+}
+
+//dbwlm:hotpath
+func (t *ticker) tick() int64 {
+	return t.now() // justified on the field declaration: no finding
+}
+
+//dbwlm:hotpath
+func (t *ticker) fire(v int) {
+	t.cb(v) // want `call through function value t.cb with unresolvable targets on a hot closure`
+}
+
+// loop proves a //dbwlm:dyncall on the call site is a trusted boundary even
+// when value flow resolves the target: step's body blocks, but the dispatch
+// is justified, so the closure does not traverse into it.
+type loop struct{ step func() }
+
+func newLoop() *loop {
+	l := &loop{}
+	l.step = func() { time.Sleep(time.Second) }
+	return l
+}
+
+//dbwlm:hotpath
+func (l *loop) spin() {
+	//dbwlm:dyncall -- generic dispatch: the scheduled callbacks are audited at their own roots
+	l.step()
+}
+
+// runner reaches impl.do through a function-typed field and then interface
+// dispatch (CHA): both hops extend the chain, and runner itself — never
+// annotated — is still held to the allocation rules.
+type doer interface{ do() }
+
+type impl struct{ ch chan int }
+
+func (i impl) do() {
+	<-i.ch // want `channel receive blocks on a hot closure` `chain: hotclosure.dispatch -> func literal \(hotclosure.go:\d+\) -> hotclosure.runner -> hotclosure.impl.do`
+}
+
+type widget struct{ run func(doer) }
+
+func newWidget() *widget {
+	return &widget{run: func(d doer) { runner(d) }}
+}
+
+func runner(d doer) {
+	pad := make([]int, 8) // want `make in hotpath function allocates`
+	_ = pad
+	d.do()
+}
+
+//dbwlm:hotpath
+func dispatch(w *widget, d doer) {
+	w.run(d) // resolved through the observed flow from newWidget
+}
+
+// An unused justification is itself a finding on full runs.
+//
+//dbwlm:dyncall -- nothing dispatches through here
+var spare func() // want[-1] `unused //dbwlm:dyncall justification`

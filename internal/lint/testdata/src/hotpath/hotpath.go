@@ -57,7 +57,7 @@ func calls(c *counter) {
 	sink(c)                     // pointers do not box: allowed
 	_ = variadicSink(1, 2)      // want `variadic call to variadicSink allocates its argument slice`
 	_ = strings.Repeat("a", 2)  // want `outside the hotpath stdlib allowlist`
-	fmt.Print(c)                // want `fmt.Print in hotpath function allocates` `variadic call`
+	fmt.Print(c)                // want `fmt.Print in hotpath function allocates` `variadic call` `fmt.Print performs I/O on a hot closure`
 	_ = allowed(c)              // hot callee: allowed
 	go allowed(c)               // want `go statement in hotpath function`
 	n := helper()               // want `hotpath function calls non-hotpath hotpath.helper`

@@ -1,0 +1,15 @@
+// Package locka closes the cross-package lock-order cycle: it acquires
+// lockb.Beta.Mu and then reaches lockb.Alpha.Mu transitively, through a
+// callee — the opposite of lockb.AB's order. The cycle diagnostic anchors in
+// lockb on its first edge; this package contributes the witness for the
+// second.
+package locka
+
+import "fix/lockorder/lockb"
+
+// BA orders Beta before Alpha, through lockb.LockAlpha.
+func BA(a *lockb.Alpha, b *lockb.Beta) {
+	b.Mu.Lock()
+	defer b.Mu.Unlock()
+	lockb.LockAlpha(a)
+}

@@ -1,0 +1,67 @@
+// Package lockb declares the locks for the two-package ordering cycle and
+// contributes the Alpha-before-Beta half; package locka observes the
+// opposite order. It also carries a same-package cycle seeded by a
+// //dbwlm:locked contract, and a two-instance self-edge.
+package lockb
+
+import "sync"
+
+type Alpha struct{ Mu sync.Mutex }
+
+type Beta struct{ Mu sync.Mutex }
+
+// AB orders Alpha before Beta. Together with locka.BA this closes the
+// cross-package cycle; the diagnostic anchors on the first edge here.
+func AB(a *Alpha, b *Beta) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	b.Mu.Lock() // want `potential deadlock: lock-order cycle lockb.Alpha.Mu -> lockb.Beta.Mu -> lockb.Alpha.Mu` `holds lockb.Beta.Mu and calls lockb.LockAlpha`
+	b.Mu.Unlock()
+}
+
+// LockAlpha is the callee locka.BA reaches Alpha through: the second edge of
+// the cycle is transitive, witnessed by the call path.
+func LockAlpha(a *Alpha) {
+	a.Mu.Lock()
+	a.Mu.Unlock()
+}
+
+// Delta's cycle comes half from a //dbwlm:locked contract (bump runs with mu
+// held, so its aux acquisition orders mu before aux) and half from flip.
+type Delta struct {
+	mu  sync.Mutex
+	aux sync.Mutex
+}
+
+//dbwlm:locked mu
+func (d *Delta) bump() {
+	d.aux.Lock()
+	d.aux.Unlock()
+}
+
+func (d *Delta) flip() {
+	d.aux.Lock()
+	defer d.aux.Unlock()
+	d.mu.Lock() // want `potential deadlock: lock-order cycle lockb.Delta.aux -> lockb.Delta.mu -> lockb.Delta.aux`
+	d.mu.Unlock()
+}
+
+// Gamma: the same abstract lock taken on two instances at once is a
+// self-edge — two goroutines pairing instances in opposite orders deadlock.
+type Gamma struct{ mu sync.Mutex }
+
+func pair(x, y *Gamma) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want `potential deadlock: lock-order cycle lockb.Gamma.mu -> lockb.Gamma.mu`
+	y.mu.Unlock()
+}
+
+// ordered takes Alpha then Delta.mu — a consistent order, no cycle, no
+// finding.
+func ordered(a *Alpha, d *Delta) {
+	a.Mu.Lock()
+	defer a.Mu.Unlock()
+	d.mu.Lock()
+	d.mu.Unlock()
+}

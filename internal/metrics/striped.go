@@ -337,6 +337,7 @@ func (h *StripedHistogram) Cumulative(f func(upperBound float64, cumulative int6
 			continue
 		}
 		cum += n
+		//dbwlm:dyncall -- caller-supplied yield: exposition callers (the prom scrape path) run off the hot path; hot callers are audited at their own roots
 		f(stripedBucketUpper(i), cum)
 	}
 	return m.count, m.sum

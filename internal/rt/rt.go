@@ -382,7 +382,7 @@ func (r *Runtime) admitWith(class ClassID, costTimerons float64, fp uint64, pred
 		}
 		return Grant{verdict: RejectedTimeout, class: class, id: qid}
 	}
-	//dbwlm:nolint hotpath -- the queued slow path: once a request must park, the channel wait dwarfs the waiter-pool setup
+	//dbwlm:nolint hotpath, hotclosure -- the queued slow path: once a request must park, the channel wait dwarfs the waiter-pool setup
 	return r.await(cs, class, costTimerons, qid, fp, predicted, gated)
 }
 
@@ -453,7 +453,7 @@ func (r *Runtime) Done(g Grant, idealSeconds float64) {
 	cs.gate.leave(g.shard)
 	r.global.leave(g.gshard)
 	if cs.gate.waiters.Load() > 0 {
-		//dbwlm:nolint hotpath -- waiters parked means the uncontended fast path is already gone; drain takes the queue mutex by design
+		//dbwlm:nolint hotpath, hotclosure -- waiters parked means the uncontended fast path is already gone; drain takes the queue mutex by design
 		r.drain(cs, g.class, false)
 	}
 }

@@ -343,6 +343,7 @@ func (s *Simulator) Step() bool {
 		s.now = e.at
 		fn := e.fn
 		s.recycle(e)
+		//dbwlm:dyncall -- generic event dispatch: every scheduled callback flows here; per-request callbacks are audited on their own hot roots, control-plane callbacks fire once per virtual interval
 		fn()
 		return true
 	}
@@ -375,6 +376,7 @@ func (s *Simulator) Run(until Time) int {
 		s.now = e.at
 		fn := e.fn
 		s.recycle(e)
+		//dbwlm:dyncall -- generic event dispatch: every scheduled callback flows here; per-request callbacks are audited on their own hot roots, control-plane callbacks fire once per virtual interval
 		fn()
 		fired++
 	}

@@ -137,7 +137,7 @@ func (c *PlanCache) PlanInfo(sql string) (entry *CachedPlan, hit bool, err error
 	if e := c.Lookup(fp); e != nil {
 		return e, true, nil
 	}
-	//dbwlm:nolint hotpath -- a cache miss pays parse+plan+insert by definition; the steady state is the hit path above
+	//dbwlm:nolint hotpath, hotclosure -- a cache miss pays parse+plan+insert by definition; the steady state is the hit path above
 	return c.planMiss(fp, sql)
 }
 
@@ -154,7 +154,7 @@ func (c *PlanCache) PlanInfoBytes(sql []byte) (entry *CachedPlan, hit bool, err 
 	if e := c.Lookup(fp); e != nil {
 		return e, true, nil
 	}
-	//dbwlm:nolint hotpath -- a cache miss pays the stable-string copy plus parse+plan+insert by definition
+	//dbwlm:nolint hotpath, hotclosure -- a cache miss pays the stable-string copy plus parse+plan+insert by definition
 	return c.planMiss(fp, string(sql))
 }
 

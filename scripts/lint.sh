@@ -2,10 +2,13 @@
 # lint.sh — the static-analysis gate: gofmt, go vet, and wlmlint.
 #
 # wlmlint (cmd/wlmlint) machine-checks the module's own invariants: hotpath
-# allocation-freedom, sync/atomic field discipline, replay determinism,
-# mutex guard contracts, and the coupling between AllocsPerRun==0 tests and
-# //dbwlm:hotpath annotations. Run via `make lint` from the repository root;
-# `make verify` includes it.
+# allocation-freedom and non-blocking closure over the static call graph,
+# sync/atomic field discipline (direct and through helpers), lock-order
+# cycle freedom, replay determinism, mutex guard contracts, and the coupling
+# between AllocsPerRun==0 tests and //dbwlm:hotpath annotations. Run via
+# `make lint` from the repository root; `make verify` runs it before the
+# test suite. Set LINT_JSON=1 to emit findings as the stable JSON array
+# instead of text (for CI annotators); either way the exit code gates.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,4 +24,10 @@ fi
 
 go vet ./...
 
-go run ./cmd/wlmlint ./...
+# Analysis fans out across GOMAXPROCS workers; output is byte-identical at
+# any worker count, so parallelism is always safe to leave on.
+if [ "${LINT_JSON:-0}" = "1" ]; then
+	go run ./cmd/wlmlint -json -time ./...
+else
+	go run ./cmd/wlmlint -time ./...
+fi
